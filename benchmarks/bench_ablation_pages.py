@@ -1,0 +1,80 @@
+"""Ablation: large-page policy (§4.1.3 design choice).
+
+Compares the memory-management cost of one application iteration under
+the page policies the paper weighs: 64 KiB base pages only, THP, and
+hugeTLBfs with the contiguous bit — plus what 512 MiB regular huge
+pages would do to hugeTLBfs surplus allocation under fragmentation
+(the reason Fugaku rejected them).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.hardware.machines import fugaku
+from repro.kernel.costmodel import LINUX_COSTS
+from repro.kernel.linux import LinuxKernel
+from repro.kernel.pagetable import AARCH64_64K, PageKind
+from repro.kernel.tuning import LargePagePolicy, fugaku_production
+from repro.units import mib
+
+
+def _policy_cost(policy: LargePagePolicy) -> float:
+    """Populate 256 MiB of heap under one policy (per-rank init cost)."""
+    tuning = replace(
+        fugaku_production(),
+        large_pages=policy,
+        hugetlb_overcommit=policy is LargePagePolicy.HUGETLBFS,
+        charge_surplus_hugetlb=policy is LargePagePolicy.HUGETLBFS,
+        name=f"ablation-{policy.value}",
+    )
+    kernel = LinuxKernel(fugaku().node, tuning)
+    geo = kernel.app_page_geometry()
+    kind = kernel.app_page_kind()
+    return kernel.costs.populate_cost(mib(256), geo.size_of(kind), kind)
+
+
+def test_page_policy_ablation(benchmark, out_dir):
+    costs = benchmark(
+        lambda: {p: _policy_cost(p) for p in LargePagePolicy}
+    )
+    lines = ["=== ablation_pages: populate 256 MiB per policy ==="]
+    for policy, cost in costs.items():
+        lines.append(f"  {policy.value:<12} {cost * 1e3:8.2f} ms")
+    # TLB reach at each granularity (the real payoff of large pages).
+    for kind, label in ((PageKind.BASE, "64 KiB base"),
+                        (PageKind.CONTIG, "2 MiB contig"),
+                        (PageKind.HUGE, "512 MiB huge")):
+        reach = fugaku().node.tlb.reach_bytes(AARCH64_64K.size_of(kind))
+        lines.append(f"  TLB reach @ {label:<13} {reach / 2**30:10.1f} GiB")
+    text = "\n".join(lines)
+    (out_dir / "ablation_pages.txt").write_text(text + "\n")
+    print("\n" + text)
+    # Large pages beat base pages on fault-path cost.
+    assert costs[LargePagePolicy.HUGETLBFS] < costs[LargePagePolicy.NONE]
+
+
+def test_512mb_pages_fragment(benchmark, out_dir):
+    """Why Fugaku avoided 512 MiB pages: after churn, the buddy cannot
+    produce an order-13 block while order-5 (2 MiB) still succeeds."""
+    from repro.errors import OutOfMemoryError
+    from repro.kernel.buddy import BuddyAllocator
+
+    def scenario() -> tuple[bool, bool]:
+        buddy = BuddyAllocator(16384)  # 1 GiB of 64 KiB pages
+        held = [buddy.alloc(0) for _ in range(16384)]
+        for i, blk in enumerate(held):
+            if i % 64 != 0:  # free all but a sparse residue
+                buddy.free(blk)
+        can_contig = buddy.can_allocate(
+            AARCH64_64K.order_of(PageKind.CONTIG))
+        can_huge = buddy.can_allocate(AARCH64_64K.order_of(PageKind.HUGE))
+        return can_contig, can_huge
+
+    can_contig, can_huge = benchmark(scenario)
+    text = ("=== ablation_pages: fragmentation after churn ===\n"
+            f"  2 MiB (contig bit) allocatable: {can_contig}\n"
+            f"  512 MiB (regular huge) allocatable: {can_huge}")
+    (out_dir / "ablation_pages_fragmentation.txt").write_text(text + "\n")
+    print("\n" + text)
+    assert can_contig and not can_huge

@@ -1,0 +1,43 @@
+"""Extension bench: performance isolation under co-location (§8 future
+work) — none vs cgroups vs multi-kernel partitioning."""
+
+import numpy as np
+
+from repro.hardware.machines import fugaku
+from repro.kernel.tuning import fugaku_production
+from repro.runtime.colocation import (
+    IsolationMode,
+    TenantLoad,
+    run_colocation,
+)
+
+
+def test_colocation_isolation(benchmark, out_dir):
+    node = fugaku().node
+
+    def run():
+        rng = np.random.default_rng(0)
+        return run_colocation(
+            node, fugaku_production(), TenantLoad(),
+            sync_interval=5e-3, n_threads=48 * 64, rng=rng,
+        )
+
+    results = benchmark(run)
+    lines = ["=== colocation: primary slowdown per isolation mode ==="]
+    for mode, r in results.items():
+        lines.append(
+            f"  {mode.value:<12} noise {r.noise_slowdown * 100:7.2f}%  "
+            f"cache x{r.cache_slowdown:.3f}  "
+            f"total {r.total_slowdown * 100:7.2f}%"
+        )
+    text = "\n".join(lines)
+    (out_dir / "colocation.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    none = results[IsolationMode.NONE].total_slowdown
+    cg = results[IsolationMode.CGROUPS].total_slowdown
+    mk = results[IsolationMode.MULTIKERNEL].total_slowdown
+    # The §8 ordering: multikernel < cgroups << none.
+    assert mk < cg < none
+    assert mk < 0.01
+    assert none > 1.0  # unusable without isolation

@@ -1,0 +1,58 @@
+"""Micro-benchmarks of the simulator's own hot paths.
+
+These keep the simulation fast enough for the full experiment matrix:
+the vectorized FWQ sampler, the barrier-delay order-statistic sampler,
+and the buddy allocator.
+"""
+
+import numpy as np
+
+from repro.kernel.buddy import BuddyAllocator
+from repro.kernel.tasks import standard_task_population
+from repro.noise.sampler import BarrierDelaySampler, fwq_iteration_lengths
+from repro.noise.source import NoiseSource, Occurrence
+
+
+def _sources():
+    return [
+        NoiseSource(t.name, interval=t.interval, duration=t.duration,
+                    occurrence=Occurrence.POISSON)
+        for t in standard_task_population()
+    ]
+
+
+def test_fwq_sampler_throughput(benchmark):
+    """One hour of FWQ (553k iterations, 6 sources) per call."""
+    sources = _sources()
+    rng = np.random.default_rng(0)
+    lengths = benchmark(fwq_iteration_lengths, sources, 6.5e-3,
+                        553_846, rng)
+    assert lengths.shape == (553_846,)
+
+
+def test_barrier_delay_full_fugaku(benchmark):
+    """512 sync intervals at the full machine's 7.6M threads."""
+    sampler = BarrierDelaySampler(_sources(), sync_interval=5e-3,
+                                  n_threads=7_630_848)
+    rng = np.random.default_rng(0)
+    delays = benchmark(sampler.sample, 512, rng)
+    assert delays.shape == (512,)
+    assert delays.max() > 0
+
+
+def test_buddy_alloc_free_cycle(benchmark):
+    """2k alloc/free pairs across mixed orders."""
+
+    def cycle():
+        b = BuddyAllocator(1 << 14)
+        blocks = []
+        for i in range(2000):
+            blocks.append(b.alloc(i % 6))
+            if i % 3 == 2:
+                b.free(blocks.pop(0))
+        for blk in blocks:
+            b.free(blk)
+        return b.free_pages
+
+    free = benchmark(cycle)
+    assert free == 1 << 14

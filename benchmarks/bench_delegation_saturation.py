@@ -1,0 +1,37 @@
+"""Extension bench: syscall-delegation saturation (the multi-kernel's
+structural throughput limit at the assistant cores)."""
+
+from repro.runtime.delegationsim import capacity_hz, saturation_sweep
+from repro.units import us
+
+
+def test_delegation_saturation(benchmark, out_dir):
+    service = us(40.0)
+    capacity = capacity_hz(2, service)
+
+    def sweep():
+        loads = (0.05, 0.25, 0.5, 0.75, 0.9)
+        return loads, saturation_sweep(
+            [l * capacity / 48 for l in loads],
+            service_time=service, duration=0.5,
+        )
+
+    loads, results = benchmark(sweep)
+    lines = [
+        "=== delegation saturation: 48 LWK clients, 2 assistant cores ===",
+        f"(capacity {capacity:,.0f} delegated calls/s at "
+        f"{service * 1e6:.0f} us service)",
+        f"{'load':>6}{'mean latency':>15}{'p99':>12}{'utilisation':>13}",
+    ]
+    for load, r in zip(loads, results):
+        lines.append(
+            f"{load:>6.0%}{r.mean_latency * 1e6:>12.1f} us"
+            f"{r.p99_latency * 1e6:>9.1f} us{r.server_utilisation:>12.2f}"
+        )
+    text = "\n".join(lines)
+    (out_dir / "delegation_saturation.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    lat = [r.mean_latency for r in results]
+    assert lat == sorted(lat)  # monotone in load
+    assert results[-1].mean_latency > 1.4 * results[0].mean_latency

@@ -1,0 +1,11 @@
+"""EQ1 — the §2 worked example: 20% slowdown at N=100k."""
+
+from conftest import save_and_print
+
+from repro.experiments import run_experiment
+
+
+def test_eq1(benchmark, out_dir):
+    result = benchmark(run_experiment, "eq1", fast=True, seed=0)
+    save_and_print(out_dir, result)
+    assert abs(result.data["analytic"] - 0.20) < 0.01

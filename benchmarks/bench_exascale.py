@@ -1,0 +1,17 @@
+"""EXA — extension: projecting the comparison beyond Fugaku (§8)."""
+
+from conftest import save_and_print
+
+from repro.experiments import run_experiment
+
+
+def test_exascale(benchmark, out_dir):
+    result = benchmark(run_experiment, "exascale", fast=True, seed=0)
+    save_and_print(out_dir, result)
+    for app, d in result.data.items():
+        gains = d["mckernel_gain_percent"]
+        # The production tuning holds: Linux stays within a few percent
+        # of the LWK even at 4x Fugaku — the paper's central finding
+        # does not collapse at the next machine generation.
+        assert all(g > -3.0 for g in gains), app
+        assert all(g < 10.0 for g in gains), app

@@ -1,0 +1,23 @@
+"""FIG1/FIG2 — the conceptual figures, generated from the live model."""
+
+from conftest import save_and_print
+
+from repro.experiments import run_experiment
+
+
+def test_fig1(benchmark, out_dir):
+    result = benchmark(run_experiment, "fig1")
+    save_and_print(out_dir, result)
+    # Figure 1's claim: the whole app is delayed by exactly the noise.
+    assert abs(result.data["delay_ms"]
+               - result.data["injected_noise_ms"]) < 1e-9
+    intervals = result.data["interval_ms"]
+    assert intervals[2] > intervals[1]
+
+
+def test_fig2(benchmark, out_dir):
+    result = benchmark(run_experiment, "fig2")
+    save_and_print(out_dir, result)
+    assert result.data["lwk_cpu_count"] == 48
+    assert result.data["linux_cpus"] == [0, 1]
+    assert result.data["picodriver"]

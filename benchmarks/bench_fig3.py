@@ -1,0 +1,12 @@
+"""FIG3 — FWQ noise time series per countermeasure panel."""
+
+from conftest import save_and_print
+
+from repro.experiments import run_experiment
+
+
+def test_fig3(benchmark, out_dir):
+    result = benchmark(run_experiment, "fig3", fast=True, seed=0)
+    save_and_print(out_dir, result)
+    assert result.data["Daemon process"]["max_us"] > \
+        20 * result.data["None"]["max_us"]

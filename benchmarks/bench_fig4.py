@@ -1,0 +1,14 @@
+"""FIG4 — FWQ latency CDFs: OFP vs Fugaku, Linux vs McKernel, at scale."""
+
+from conftest import save_and_print
+
+from repro.experiments import run_experiment
+
+
+def test_fig4(benchmark, out_dir):
+    result = benchmark(run_experiment, "fig4", fast=True, seed=0)
+    save_and_print(out_dir, result)
+    q = {k: v["quantiles_ms"]["expected_max"] for k, v in result.data.items()}
+    assert q["OFP Linux (1,024 nodes)"] > q["Fugaku Linux (full scale)"]
+    assert q["Fugaku Linux (full scale)"] > q["Fugaku Linux (24 racks)"]
+    assert q["OFP McKernel (1,024 nodes)"] < 7.0

@@ -1,0 +1,19 @@
+"""FIG5 — CORAL apps on OFP (AMG2013, Milc, LULESH)."""
+
+from conftest import save_and_print
+
+from repro.experiments import run_experiment
+
+
+def test_fig5(benchmark, out_dir):
+    result = benchmark(run_experiment, "fig5", fast=True, seed=0)
+    save_and_print(out_dir, result)
+    rel = {app: d["relative_performance"]
+           for app, d in result.data.items()}
+    # McKernel wins everywhere; LULESH approaches 2x at the largest
+    # scale; gains grow with node count.
+    for app, series in rel.items():
+        assert min(series) > 1.0, app
+        assert series[-1] > series[0], app
+    assert 1.6 < rel["Lulesh"][-1] < 2.4
+    assert rel["AMG2013"][-1] < 1.35

@@ -1,0 +1,16 @@
+"""FIG6 — LQCD / GeoFEM / GAMERA on OFP."""
+
+from conftest import save_and_print
+
+from repro.experiments import run_experiment
+
+
+def test_fig6(benchmark, out_dir):
+    result = benchmark(run_experiment, "fig6", fast=True, seed=0)
+    save_and_print(out_dir, result)
+    lqcd = result.data["LQCD"]["relative_performance"]
+    assert 1.15 < lqcd[-1] < 1.40  # ~+25% at 2k nodes
+    gamera = result.data["GAMERA"]["relative_performance"]
+    assert gamera[-1] > 1.18  # >+25%ish at half scale
+    geofem = result.data["GeoFEM"]["relative_performance"]
+    assert max(geofem) < 1.18  # modest gains with variance

@@ -1,0 +1,17 @@
+"""FIG7 — LQCD / GeoFEM / GAMERA on Fugaku vs highly tuned Linux."""
+
+from conftest import save_and_print
+
+from repro.experiments import run_experiment
+
+
+def test_fig7(benchmark, out_dir):
+    result = benchmark(run_experiment, "fig7", fast=True, seed=0)
+    save_and_print(out_dir, result)
+    lqcd = result.data["LQCD"]["relative_performance"]
+    assert all(abs(r - 1.0) < 0.05 for r in lqcd)  # almost identical
+    geofem = result.data["GeoFEM"]["relative_performance"]
+    assert all(0.97 < r < 1.10 for r in geofem)  # ~+3%
+    gamera = result.data["GAMERA"]["relative_performance"]
+    assert gamera[-1] > gamera[0]  # grows with scale
+    assert 1.20 < gamera[-1] < 1.40  # up to ~+29%

@@ -1,0 +1,14 @@
+"""AVG — headline: ~4% mean Fugaku gain, 29% max, OFP consistently won."""
+
+from conftest import save_and_print
+
+from repro.experiments import run_experiment
+
+
+def test_summary(benchmark, out_dir):
+    result = benchmark(run_experiment, "summary", fast=True, seed=0)
+    save_and_print(out_dir, result)
+    d = result.data
+    assert 1.0 < d["fugaku_mean_gain_percent"] < 10.0
+    assert 22.0 < d["fugaku_max_gain_percent"] < 36.0
+    assert d["ofp_mean_gain_percent"] > d["fugaku_mean_gain_percent"]

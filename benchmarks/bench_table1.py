@@ -1,0 +1,12 @@
+"""TAB1 — regenerate Table 1 (platform overview)."""
+
+from conftest import save_and_print
+
+from repro.experiments import run_experiment
+
+
+def test_table1(benchmark, out_dir):
+    result = benchmark(run_experiment, "table1")
+    save_and_print(out_dir, result)
+    assert result.data["fugaku"]["nodes"] == 158976
+    assert result.data["ofp"]["nodes"] == 8192

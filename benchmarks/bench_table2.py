@@ -1,0 +1,20 @@
+"""TAB2 — noise countermeasure effectiveness (FWQ on the testbed)."""
+
+from conftest import save_and_print
+
+from repro.experiments import run_experiment
+from repro.noise.mitigation import TABLE2_PAPER
+
+
+def test_table2(benchmark, out_dir):
+    result = benchmark(run_experiment, "table2", fast=True, seed=0)
+    save_and_print(out_dir, result)
+    # Shape: every disabled technique is noisier than the baseline and
+    # daemons dominate, as in the paper.
+    data = result.data
+    base_rate = data["None"]["noise_rate"]
+    for label, row in data.items():
+        if label != "None" and label != "CPU-global flush instruction":
+            assert row["noise_rate"] > base_rate * 0.9, label
+    assert data["Daemon process"]["max_noise_us"] > 10_000
+    assert set(data) == set(TABLE2_PAPER)

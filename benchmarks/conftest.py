@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one paper artefact (table or figure)
+under pytest-benchmark timing and writes the rendered rows/series to
+``benchmarks/out/<id>.txt`` so that ``pytest benchmarks/
+--benchmark-only`` leaves the paper-style outputs on disk as well as
+timing the regeneration itself.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def save_and_print(out_dir: pathlib.Path, result) -> None:
+    """Persist an ExperimentResult's rendering and echo it."""
+    text = result.render()
+    (out_dir / f"{result.experiment_id}.txt").write_text(text + "\n")
+    print()
+    print(text)

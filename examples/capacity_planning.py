@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Capacity planning with the noise model (Eq. 1).
+
+Answers the operator questions the paper's §2 apparatus was built for:
+
+* How much does a given noise source slow a BSP application at scale?
+* How rare must noise be for a full-Fugaku run to lose < 1%?
+* Where is the crossover node count at which tuning starts to matter?
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro.noise.analytic import NoiseGroup, eq1_delay
+from repro.noise.catalog import noise_sources_for
+from repro.noise.sampler import BarrierDelaySampler
+from repro.hardware import fugaku, oakforest_pacs
+from repro.kernel import LinuxKernel, fugaku_production, ofp_default
+from repro.units import ms, us
+
+
+def paper_example() -> None:
+    print("=" * 72)
+    print("Eq. 1 worked example (§2)")
+    print("=" * 72)
+    d = eq1_delay([NoiseGroup(length=ms(1), interval=500.0)],
+                  us(250), 100_000)
+    print(f"  N=100,000, S=250 us, L=1 ms, I=500 s  ->  "
+          f"{d * 100:.1f}% slowdown (paper: 20%)\n")
+
+
+def tolerable_noise_at_full_scale() -> None:
+    print("=" * 72)
+    print("How rare must a 1 ms noise be to cost < 1% at full Fugaku?")
+    print("=" * 72)
+    n = fugaku().total_app_hw_threads
+    for sync in (us(250), ms(1), ms(10)):
+        # Search the interval where Eq. 1 crosses 1%.
+        lo, hi = 1.0, 1e9
+        for _ in range(60):
+            mid = (lo * hi) ** 0.5
+            d = eq1_delay([NoiseGroup(length=ms(1), interval=mid)], sync, n)
+            if d > 0.01:
+                lo = mid
+            else:
+                hi = mid
+        print(f"  S = {sync * 1e3:6.2f} ms: 1 ms bursts must be rarer than "
+              f"one per {lo:12,.0f} s per core")
+    print()
+
+
+def crossover_scan() -> None:
+    print("=" * 72)
+    print("Noise-driven slowdown vs node count (S = 10 ms per iteration)")
+    print("=" * 72)
+    rng = np.random.default_rng(0)
+    configs = {
+        "OFP Linux (moderate tuning)": (
+            oakforest_pacs(),
+            LinuxKernel(oakforest_pacs().node, ofp_default(),
+                        interconnect="Intel OmniPath"), 256),
+        "Fugaku Linux (production)": (
+            fugaku(), LinuxKernel(fugaku().node, fugaku_production()), 48),
+    }
+    header = f"  {'nodes':>8}" + "".join(
+        f"{name:>32}" for name in configs)
+    print(header)
+    for nodes in (16, 128, 1024, 8192, 65536):
+        row = f"  {nodes:>8}"
+        for name, (machine, kernel, threads_per_node) in configs.items():
+            if nodes > machine.n_nodes:
+                row += f"{'—':>32}"
+                continue
+            sources = noise_sources_for(kernel)
+            sampler = BarrierDelaySampler(sources, sync_interval=ms(10),
+                                          n_threads=nodes * threads_per_node)
+            slow = sampler.expected_slowdown(400, rng)
+            row += f"{slow * 100:>30.2f}%"
+        print(row)
+    print("\nThe OFP column is why the paper saw up-to-2x LWK gains there,")
+    print("while the Fugaku column stays in the low single digits (§6.4).")
+
+
+if __name__ == "__main__":
+    paper_example()
+    tolerable_noise_at_full_scale()
+    crossover_scan()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Performance isolation under co-location — the paper's future work.
+
+§8: "multi-kernel systems provide excellent performance isolation which
+could play an important role in multi-tenant deployments on accelerator
+equipped fat compute nodes, a direction we also consider for future
+investigation."
+
+This example runs that investigation in the model: a bulk-synchronous
+primary workload shares Fugaku-like nodes with an increasingly noisy
+analytics tenant, under three isolation regimes — none, Linux cgroups,
+and IHK/McKernel partitioning.
+
+Run:  python examples/colocation_isolation.py
+"""
+
+import numpy as np
+
+from repro.hardware import fugaku
+from repro.kernel import fugaku_production
+from repro.runtime.colocation import (
+    IsolationMode,
+    TenantLoad,
+    run_colocation,
+)
+
+
+def main() -> None:
+    node = fugaku().node
+    tuning = fugaku_production()
+    rng = np.random.default_rng(11)
+    n_threads = 48 * 64  # a 64-node primary job
+    sync = 5e-3
+
+    print("Primary: BSP job, S = 5 ms, 64 nodes (3,072 threads)")
+    print("Tenant : bursty analytics co-located on the same nodes\n")
+    header = (f"{'tenant intensity':<20}"
+              + "".join(f"{m.value:>16}" for m in IsolationMode))
+    print(header)
+    print("-" * len(header))
+    for label, load in (
+        ("light (5% cpu)", TenantLoad(cpu_duty=0.05, io_rate_hz=100,
+                                      churn_bytes_per_s=64 << 20)),
+        ("moderate (10% cpu)", TenantLoad()),
+        ("heavy (25% cpu)", TenantLoad(cpu_duty=0.25, io_rate_hz=1500,
+                                       churn_bytes_per_s=1 << 30,
+                                       llc_share=0.5)),
+    ):
+        results = run_colocation(node, tuning, load, sync, n_threads, rng)
+        row = f"{label:<20}"
+        for mode in IsolationMode:
+            row += f"{results[mode].total_slowdown * 100:>14.1f}%"
+        print(row)
+
+    print("\nReading: with no isolation the primary is unusable; cgroups")
+    print("confine the tenant's CPUs but kernel-mediated channels (I/O")
+    print("completion spill, TLBI broadcasts, shared LLC) still cost")
+    print("percent-level slowdowns that grow with tenant intensity; the")
+    print("multi-kernel partition eliminates every software channel —")
+    print("the §8 claim, quantified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Model validation: three independent paths, one answer.
+
+The repository computes noise-driven slowdowns three ways:
+
+1. **Eq. 1** — the paper's closed-form upper-bound estimate;
+2. **order statistics** — the BarrierDelaySampler draws the exact
+   per-interval max over N threads (what the experiments use);
+3. **discrete-event simulation** — rank processes on the DES engine,
+   noise preempting compute on each core, MPI barriers; the max
+   *emerges* instead of being assumed.
+
+This example shows their agreement across injected noise signatures,
+plus the FTQ spectral detector localising a periodic interferer — the
+two cross-checks that justify trusting the at-scale results.
+
+Run:  python examples/model_validation.py
+"""
+
+import numpy as np
+
+from repro.apps.fwq import run_ftq
+from repro.noise.injection import InjectionSpec, sensitivity_sweep
+from repro.noise.source import NoiseSource, Occurrence
+from repro.noise.spectral import find_periodic_noise
+from repro.runtime.nodesim import validate_against_sampler
+from repro.sim.distributions import Fixed
+from repro.units import ms, us
+
+
+def des_vs_sampler() -> None:
+    print("=" * 72)
+    print("DES simulation vs order-statistic sampler (48 threads)")
+    print("=" * 72)
+    signatures = [
+        ("short, frequent", InjectionSpec(length=us(100), interval=0.05)),
+        ("medium", InjectionSpec(length=ms(1), interval=0.5)),
+        ("long, rare", InjectionSpec(length=ms(5), interval=5.0)),
+    ]
+    print(f"  {'signature':<18}{'DES delay':>14}{'sampler delay':>16}")
+    for label, spec in signatures:
+        out = validate_against_sampler(
+            [spec.as_source()], sync_interval=5e-3, n_threads=48,
+            n_iterations=600, seed=5,
+        )
+        print(f"  {label:<18}{out['des_mean_delay'] * 1e6:>11.1f} us"
+              f"{out['sampler_mean_delay'] * 1e6:>13.1f} us")
+    print()
+
+
+def sweep_vs_eq1() -> None:
+    print("=" * 72)
+    print("Injection sweep vs Eq. 1 (N = 98,304 threads, S = 1 ms, I = 10 s)")
+    print("=" * 72)
+    rng = np.random.default_rng(3)
+    points = sensitivity_sweep(
+        lengths=[us(10), us(100), ms(1), ms(5)],
+        interval=10.0, sync_interval=ms(1), n_threads=2048 * 48, rng=rng,
+    )
+    print(f"  {'L':>10}{'measured':>12}{'Eq. 1':>10}   note")
+    for p in points:
+        note = "absorbed" if p.absorbed else "serialises the interval"
+        print(f"  {p.spec.length * 1e6:>7.0f} us"
+              f"{p.measured_slowdown * 100:>10.2f}%"
+              f"{p.eq1_estimate * 100:>9.2f}%   {note}")
+    print("\nEq. 1 is an upper-bound estimate (it assumes every hit costs")
+    print("the full length); the sampler tracks it within the bound.\n")
+
+
+def spectral_detection() -> None:
+    print("=" * 72)
+    print("FTQ spectral detection of periodic interferers")
+    print("=" * 72)
+    rng = np.random.default_rng(0)
+    hidden = [
+        NoiseSource("sar-ish", interval=0.25, duration=Fixed(us(80)),
+                    occurrence=Occurrence.PERIODIC),       # 4 Hz
+        NoiseSource("tick-ish", interval=0.1, duration=Fixed(us(120)),
+                    occurrence=Occurrence.PERIODIC),       # 10 Hz
+        NoiseSource("background", interval=0.05, duration=Fixed(us(30))),
+    ]
+    ftq = run_ftq(hidden, rng, window=1e-3, duration=60.0)
+    print(f"  lost work fraction: {ftq.lost_work_fraction * 100:.2f}%")
+    for peak in find_periodic_noise(ftq, threshold=50.0):
+        print(f"  periodic interferer at {peak.frequency_hz:7.2f} Hz "
+              f"(period {peak.period_s * 1e3:6.1f} ms), "
+              f"line power {peak.power_ratio:.0f}x the floor")
+    print("\nBoth planted periodic sources are recovered at their exact")
+    print("rates; the Poisson background stays below the detection floor.")
+
+
+if __name__ == "__main__":
+    des_vs_sampler()
+    sweep_vs_eq1()
+    spectral_detection()

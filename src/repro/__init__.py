@@ -1,0 +1,98 @@
+"""repro — a simulation-based reproduction of *"Linux vs. Lightweight
+Multi-kernels for High Performance Computing: Experiences at
+Pre-Exascale"* (Gerofi et al., SC '21).
+
+The package models, in Python, every system the paper's evaluation
+touches: the Oakforest-PACS and Fugaku node/system hardware, a tunable
+Linux kernel (cgroups, hugeTLBfs, buddy allocator, nohz_full, IRQ
+routing, the §4.2 noise countermeasures), the IHK/McKernel lightweight
+multi-kernel (resource partitioning, syscall delegation, Tofu
+PicoDriver), the OS-noise apparatus (FWQ, Eq. 1/Eq. 2, at-scale tail
+models), the network/collective substrate, and BSP profiles of the six
+evaluated applications.  ``repro.experiments`` regenerates every table
+and figure.
+
+Quickstart::
+
+    from repro import quick_compare
+    print(quick_compare("LQCD", platform="fugaku", nodes=2048))
+
+See examples/quickstart.py for a guided tour.
+"""
+
+from __future__ import annotations
+
+from . import apps, experiments, hardware, kernel, mckernel, net, noise, runtime, sim
+from .errors import (
+    CgroupLimitExceeded,
+    ConfigurationError,
+    OutOfMemoryError,
+    PartitionError,
+    ReproError,
+    ResourceError,
+    SimulationError,
+    SyscallError,
+)
+
+__version__ = "1.0.0"
+
+
+def quick_compare(app: str, platform: str = "fugaku", nodes: int = 1024,
+                  n_runs: int = 3, seed: int = 0):
+    """One-call Linux-vs-McKernel comparison.
+
+    Parameters
+    ----------
+    app:
+        One of ``repro.apps.ALL_PROFILES`` ("AMG2013", "Milc", "Lulesh",
+        "LQCD", "GeoFEM", "GAMERA").
+    platform:
+        "fugaku" or "ofp".
+    nodes:
+        Job size in compute nodes.
+
+    Returns the :class:`repro.runtime.Comparison` for the requested
+    point.
+    """
+    from .apps import ALL_PROFILES
+    from .hardware.machines import fugaku, oakforest_pacs
+    from .kernel.linux import LinuxKernel
+    from .kernel.tuning import fugaku_production, ofp_default
+    from .mckernel.lwk import boot_mckernel
+    from .runtime.runner import compare
+
+    if platform.lower() in ("fugaku", "a64fx"):
+        machine, tuning = fugaku(), fugaku_production()
+    elif platform.lower() in ("ofp", "oakforest", "oakforest-pacs", "knl"):
+        machine, tuning = oakforest_pacs(), ofp_default()
+    else:
+        raise ConfigurationError(f"unknown platform {platform!r}")
+    profile = ALL_PROFILES[app]()
+    linux = LinuxKernel(machine.node, tuning,
+                        interconnect=machine.interconnect)
+    mck = boot_mckernel(machine.node, host_tuning=tuning)
+    return compare(machine, profile, linux, mck, [nodes],
+                   n_runs=n_runs, seed=seed)[0]
+
+
+__all__ = [
+    "apps",
+    "experiments",
+    "hardware",
+    "kernel",
+    "mckernel",
+    "net",
+    "noise",
+    "runtime",
+    "sim",
+    "quick_compare",
+    "ReproError",
+    "ConfigurationError",
+    "ResourceError",
+    "OutOfMemoryError",
+    "CgroupLimitExceeded",
+    "PartitionError",
+    "SimulationError",
+    "SyscallError",
+    "__version__",
+]

@@ -1,0 +1,166 @@
+"""Command-line interface.
+
+    python -m repro list
+    python -m repro experiment table2 [--full] [--seed N]
+    python -m repro compare LQCD --platform fugaku --nodes 2048
+    python -m repro fwq --platform fugaku --os mckernel --duration 60
+
+The CLI is a thin shell over the library; anything it prints can be
+obtained programmatically from :mod:`repro.experiments` and
+:func:`repro.quick_compare`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .apps import ALL_PROFILES
+    from .experiments import EXPERIMENTS
+
+    print("experiments:")
+    for eid, (title, _) in EXPERIMENTS.items():
+        print(f"  {eid:<10} {title}")
+    print("\napplications:")
+    for name, factory in ALL_PROFILES.items():
+        p = factory()
+        print(f"  {name:<10} {p.description}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import run_experiment
+
+    for eid in args.ids:
+        result = run_experiment(eid, fast=not args.full, seed=args.seed)
+        print(result.render())
+        if result.paper_reference:
+            print(f"[paper reference: {result.paper_reference}]")
+        print()
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from . import quick_compare
+
+    comp = quick_compare(args.app, platform=args.platform,
+                         nodes=args.nodes, n_runs=args.runs,
+                         seed=args.seed)
+    print(f"{args.app} on {args.platform}, {args.nodes} nodes "
+          f"({comp.linux.n_threads} HW threads):")
+    print(f"  Linux    : {comp.linux.mean_time:9.3f} s "
+          f"(+/- {comp.linux.std_time:.3f})")
+    print(f"  McKernel : {comp.mckernel.mean_time:9.3f} s "
+          f"(+/- {comp.mckernel.std_time:.3f})")
+    print(f"  McKernel relative performance: "
+          f"{comp.relative_performance:.3f} "
+          f"({comp.speedup_percent:+.1f}%)")
+    b = comp.linux.breakdown
+    print(f"  Linux breakdown [s]: compute={b.compute:.2f} tlb={b.tlb:.3f} "
+          f"churn={b.churn:.3f} collective={b.collective:.3f} "
+          f"noise={b.noise:.3f} init={b.init:.3f}")
+    return 0
+
+
+def _cmd_fwq(args: argparse.Namespace) -> int:
+    from .apps.fwq import FwqConfig, run_fwq_on
+    from .hardware.machines import fugaku, oakforest_pacs
+    from .kernel.linux import LinuxKernel
+    from .kernel.tuning import fugaku_production, ofp_default, untuned
+    from .mckernel.lwk import boot_mckernel
+    from .units import to_us
+
+    if args.platform == "fugaku":
+        machine, tuning = fugaku(), fugaku_production()
+    else:
+        machine, tuning = oakforest_pacs(), ofp_default()
+    if args.tuning == "untuned":
+        tuning = untuned()
+    if args.os == "linux":
+        os_instance = LinuxKernel(machine.node, tuning,
+                                  interconnect=machine.interconnect)
+    else:
+        os_instance = boot_mckernel(machine.node, host_tuning=tuning)
+    rng = np.random.default_rng(args.seed)
+    result = run_fwq_on(os_instance, FwqConfig(duration=args.duration), rng)
+    print(f"FWQ on {machine.name} / {args.os} ({tuning.name}), "
+          f"{args.duration:.0f} s:")
+    print(f"  iterations       : {len(result.iteration_lengths)}")
+    print(f"  max noise length : {to_us(result.max_noise_length):.2f} us")
+    print(f"  noise rate (Eq.2): {result.noise_rate:.3e}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .experiments.export import export_all
+
+    written = export_all(args.directory, ids=args.ids or None,
+                         fast=not args.full, seed=args.seed)
+    for eid, paths in written.items():
+        print(f"{eid}:")
+        for p in paths:
+            print(f"  {p}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Linux vs. Lightweight Multi-kernels "
+                    "for HPC' (SC '21)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and applications")
+
+    p_exp = sub.add_parser("experiment", help="run paper experiments")
+    p_exp.add_argument("ids", nargs="+", help="experiment ids (see list)")
+    p_exp.add_argument("--full", action="store_true")
+    p_exp.add_argument("--seed", type=int, default=0)
+
+    p_cmp = sub.add_parser("compare", help="Linux vs McKernel for one app")
+    p_cmp.add_argument("app")
+    p_cmp.add_argument("--platform", choices=["fugaku", "ofp"],
+                       default="fugaku")
+    p_cmp.add_argument("--nodes", type=int, default=1024)
+    p_cmp.add_argument("--runs", type=int, default=3)
+    p_cmp.add_argument("--seed", type=int, default=0)
+
+    p_exp_out = sub.add_parser(
+        "export", help="run experiments and write JSON/CSV/text outputs")
+    p_exp_out.add_argument("directory")
+    p_exp_out.add_argument("ids", nargs="*",
+                           help="experiment ids (default: all)")
+    p_exp_out.add_argument("--full", action="store_true")
+    p_exp_out.add_argument("--seed", type=int, default=0)
+
+    p_fwq = sub.add_parser("fwq", help="run the FWQ noise benchmark")
+    p_fwq.add_argument("--platform", choices=["fugaku", "ofp"],
+                       default="fugaku")
+    p_fwq.add_argument("--os", choices=["linux", "mckernel"],
+                       default="linux")
+    p_fwq.add_argument("--tuning", choices=["production", "untuned"],
+                       default="production")
+    p_fwq.add_argument("--duration", type=float, default=60.0)
+    p_fwq.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "experiment": _cmd_experiment,
+        "compare": _cmd_compare,
+        "export": _cmd_export,
+        "fwq": _cmd_fwq,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

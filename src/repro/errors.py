@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A machine, kernel, or experiment configuration is inconsistent."""
+
+
+class ResourceError(ReproError):
+    """A hardware resource request cannot be satisfied.
+
+    Raised e.g. when IHK tries to reserve more cores than the node has, or
+    when the buddy allocator runs out of physical memory.
+    """
+
+
+class OutOfMemoryError(ResourceError):
+    """Physical memory exhausted (buddy allocator or cgroup limit)."""
+
+
+class CgroupLimitExceeded(OutOfMemoryError):
+    """A memory cgroup charge would exceed the cgroup's limit."""
+
+
+class PartitionError(ResourceError):
+    """Invalid CPU/memory partitioning request (overlap, unknown core...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class SyscallError(ReproError):
+    """A simulated system call failed.
+
+    Carries a POSIX-style ``errno`` name so tests can assert on the exact
+    failure mode (e.g. ``ENOMEM``, ``ENOSYS``).
+    """
+
+    def __init__(self, errno_name: str, message: str = "") -> None:
+        self.errno_name = errno_name
+        super().__init__(f"{errno_name}: {message}" if message else errno_name)

@@ -1,0 +1,17 @@
+"""Experiment harness: one module per paper table/figure + registry."""
+
+from .export import export_all, export_json, export_series_csv
+from .registry import EXPERIMENTS, run_all, run_experiment
+from .report import ExperimentResult, format_series, format_table
+
+__all__ = [
+    "export_all",
+    "export_json",
+    "export_series_csv",
+    "EXPERIMENTS",
+    "run_all",
+    "run_experiment",
+    "ExperimentResult",
+    "format_series",
+    "format_table",
+]

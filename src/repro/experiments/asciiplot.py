@@ -1,0 +1,114 @@
+"""Terminal figure rendering: the figures as figures.
+
+The experiment harness prints the paper's rows/series; this module
+turns those series into axis-labelled ASCII plots so the regenerated
+artefacts read like the originals in any terminal and in the committed
+benchmark outputs.  No plotting dependency is available offline, and
+for CDFs/bar sweeps character resolution is plenty to see the shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+#: Glyphs assigned to successive series in a multi-line plot.
+GLYPHS = "*o+x#@%&"
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000 or abs(v) < 0.01:
+        return f"{v:.2g}"
+    return f"{v:.3g}"
+
+
+def line_plot(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    logx: bool = False,
+) -> str:
+    """Render named (xs, ys) series on shared axes.
+
+    ``logx=True`` spaces the x axis logarithmically — right for node
+    sweeps over powers of two (Figs. 5-7).
+    """
+    if not series:
+        raise ConfigurationError("need at least one series")
+    if width < 16 or height < 4:
+        raise ConfigurationError("plot too small")
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys) or not xs:
+            raise ConfigurationError(f"series {name!r} malformed")
+        if logx and any(x <= 0 for x in xs):
+            raise ConfigurationError("logx needs positive x values")
+
+    def tx(x: float) -> float:
+        return math.log10(x) if logx else x
+
+    all_x = [tx(x) for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    # A little headroom so curves don't ride the frame.
+    pad = 0.05 * (y_hi - y_lo)
+    y_lo -= pad
+    y_hi += pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(x: float, y: float, glyph: str) -> None:
+        col = round((tx(x) - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = glyph
+
+    legend = []
+    for idx, (name, (xs, ys)) in enumerate(series.items()):
+        glyph = GLYPHS[idx % len(GLYPHS)]
+        legend.append(f"{glyph} {name}")
+        # Connect points with interpolated samples so lines read as lines.
+        for i in range(len(xs) - 1):
+            steps = max(2, width // max(1, len(xs) - 1))
+            for s in range(steps + 1):
+                f = s / steps
+                x = 10 ** (tx(xs[i]) * (1 - f) + tx(xs[i + 1]) * f) \
+                    if logx else xs[i] * (1 - f) + xs[i + 1] * f
+                y = ys[i] * (1 - f) + ys[i + 1] * f
+                put(x, y, glyph)
+        for x, y in zip(xs, ys):  # emphasise the data points last
+            put(x, y, glyph)
+
+    lines = []
+    y_top, y_bot = _fmt(y_hi), _fmt(y_lo)
+    margin = max(len(y_top), len(y_bot)) + 1
+    for r, row in enumerate(grid):
+        label = y_top if r == 0 else (y_bot if r == height - 1 else "")
+        lines.append(f"{label:>{margin}} |{''.join(row)}|")
+    x_lo_label = _fmt(10 ** x_lo if logx else x_lo)
+    x_hi_label = _fmt(10 ** x_hi if logx else x_hi)
+    lines.append(f"{'':>{margin}} +{'-' * width}+")
+    footer = f"{x_lo_label}{x_label:^{max(0, width - len(x_lo_label) - len(x_hi_label))}}{x_hi_label}"
+    lines.append(f"{'':>{margin}}  {footer}")
+    lines.append(f"{'':>{margin}}  [{y_label}]  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    curves: dict[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 14,
+    x_label: str = "iteration length",
+) -> str:
+    """Convenience wrapper for Fig. 4-style CDFs (y is probability)."""
+    return line_plot(curves, width=width, height=height,
+                     x_label=x_label, y_label="CDF")

@@ -1,0 +1,68 @@
+"""EXA — extension experiment: projecting the comparison beyond Fugaku.
+
+Not a paper artefact — the quantified version of its §8 outlook.  The
+conclusion argues the LWK's residual advantage comes from noise terms
+that grow with thread count (Eq. 1), so the natural question is: at
+what scale does even the *highly tuned* Linux fall behind again?
+
+The experiment holds Fugaku's production tuning fixed and scales the
+machine (hypothetical 2x/4x/8x node counts, same node design), running
+the LQCD and GeoFEM profiles, plus the FWQ noise floor: the residual
+sar noise that costs ~0.5% at 8k nodes compounds toward the max-length
+ceiling as N grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..apps import ALL_PROFILES
+from ..hardware.machines import fugaku
+from ..kernel.linux import LinuxKernel
+from ..kernel.tuning import fugaku_production
+from ..mckernel.lwk import boot_mckernel
+from ..runtime.runner import compare
+from .report import ExperimentResult, format_table
+
+
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    base = fugaku()
+    scales = [1, 2, 4] if fast else [1, 2, 4, 8]
+    tuning = fugaku_production()
+    linux = LinuxKernel(base.node, tuning)
+    mck = boot_mckernel(base.node, host_tuning=tuning)
+
+    rows = []
+    data: dict[str, dict] = {}
+    for app in ("LQCD", "GeoFEM"):
+        profile = ALL_PROFILES[app]()
+        gains = []
+        for scale in scales:
+            machine = replace(base, n_nodes=base.n_nodes * scale,
+                              name=f"Fugaku-x{scale}")
+            comp = compare(machine, profile, linux, mck,
+                           [machine.n_nodes], n_runs=3 if fast else 5,
+                           seed=seed)[0]
+            gains.append(comp.speedup_percent)
+        data[app] = {
+            "scale_factors": scales,
+            "node_counts": [base.n_nodes * s for s in scales],
+            "mckernel_gain_percent": gains,
+        }
+        rows.append([app] + [f"{g:+.1f}%" for g in gains])
+    text = format_table(
+        ["Application"] + [f"{s}x Fugaku" for s in scales],
+        rows,
+        title="Extension: full-machine McKernel gain vs hypothetical "
+              "machine scale (production Linux tuning held fixed)",
+    )
+    return ExperimentResult(
+        experiment_id="exascale",
+        title="Projection beyond Fugaku (§8 outlook, quantified)",
+        data=data,
+        text=text,
+        paper_reference={
+            "claim": "LWKs 'have the potential to outperform Linux at "
+                     "extreme scale' — the gap should reopen with N",
+        },
+    )

@@ -1,0 +1,99 @@
+"""Export experiment results to files for plotting and archival.
+
+``pytest benchmarks/`` already writes the paper-style text renderings;
+this module additionally exports the machine-readable data: one JSON per
+experiment (the full ``data`` dict plus metadata) and one CSV per figure
+series, so results drop straight into matplotlib/pandas/gnuplot.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Iterable
+
+from ..errors import ConfigurationError
+from .registry import EXPERIMENTS, run_experiment
+from .report import ExperimentResult
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays so json.dumps succeeds."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value
+
+
+def export_json(result: ExperimentResult, directory: pathlib.Path) -> pathlib.Path:
+    """Write one experiment's data + metadata as JSON; returns the path."""
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.experiment_id}.json"
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "paper_reference": _jsonable(result.paper_reference),
+        "data": _jsonable(result.data),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def export_series_csv(result: ExperimentResult,
+                      directory: pathlib.Path) -> list[pathlib.Path]:
+    """For figure-style results (per-app dicts holding ``nodes`` and
+    ``relative_performance``), write one CSV per application series."""
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[pathlib.Path] = []
+    for app, series in result.data.items():
+        if not isinstance(series, dict) or "nodes" not in series:
+            continue
+        path = directory / f"{result.experiment_id}_{app}.csv"
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["nodes", "relative_performance", "yerr",
+                             "linux_seconds", "mckernel_seconds"])
+            for i, nodes in enumerate(series["nodes"]):
+                writer.writerow([
+                    nodes,
+                    series["relative_performance"][i],
+                    series.get("yerr", [0.0] * len(series["nodes"]))[i],
+                    series.get("linux_seconds", [""] * len(series["nodes"]))[i],
+                    series.get("mckernel_seconds",
+                               [""] * len(series["nodes"]))[i],
+                ])
+        written.append(path)
+    return written
+
+
+def export_all(
+    directory: str | pathlib.Path,
+    ids: Iterable[str] | None = None,
+    fast: bool = True,
+    seed: int = 0,
+) -> dict[str, list[str]]:
+    """Run and export a set of experiments; returns id -> written paths."""
+    directory = pathlib.Path(directory)
+    ids = list(ids) if ids is not None else list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise ConfigurationError(f"unknown experiment ids: {unknown}")
+    out: dict[str, list[str]] = {}
+    for eid in ids:
+        result = run_experiment(eid, fast=fast, seed=seed)
+        paths = [str(export_json(result, directory))]
+        paths += [str(p) for p in export_series_csv(result, directory)]
+        (directory / f"{eid}.txt").write_text(result.render() + "\n")
+        paths.append(str(directory / f"{eid}.txt"))
+        out[eid] = paths
+    return out

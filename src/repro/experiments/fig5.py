@@ -1,0 +1,34 @@
+"""FIG5 — Figure 5: CORAL mini-apps on Oakforest-PACS.
+
+AMG2013, Milc and LULESH (x86-only builds, §6.2) across node counts,
+McKernel performance normalised to Linux = 1.  Paper shapes: AMG up to
+~+18% (slightly rising with scale), Milc up to ~+22%, LULESH up to
+~2x, all gains growing as the job scales out.
+"""
+
+from __future__ import annotations
+
+from ..hardware.machines import oakforest_pacs
+from ..kernel.tuning import ofp_default
+from .appfigs import figure_result, sweep_apps
+from .report import ExperimentResult
+
+PAPER_REFERENCE = {
+    "AMG2013": "up to ~+18%",
+    "Milc": "up to ~+22%",
+    "Lulesh": "up to ~2x",
+}
+
+
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    counts = [16, 128, 1024, 8192] if fast else [16, 64, 256, 1024, 4096, 8192]
+    comps = sweep_apps(
+        oakforest_pacs(), ofp_default(),
+        ["AMG2013", "Milc", "Lulesh"],
+        counts, n_runs=3 if fast else 5, seed=seed,
+    )
+    return figure_result(
+        "fig5",
+        "CORAL application results on Oakforest-PACS (McKernel vs Linux)",
+        comps, PAPER_REFERENCE,
+    )

@@ -1,0 +1,64 @@
+"""Experiment registry: one entry per paper table/figure.
+
+``run_experiment("table2")`` regenerates that artefact; ``run_all``
+sweeps everything (the EXPERIMENTS.md generator and the benchmark
+harness both drive this registry).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ConfigurationError
+from . import (
+    eq1,
+    exascale,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    summary,
+    table1,
+    table2,
+)
+from .report import ExperimentResult
+
+#: experiment id -> (title, runner)
+EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
+    "table1": ("Platform overview", table1.run),
+    "eq1": ("Eq. 1 worked example", eq1.run),
+    "table2": ("Noise countermeasure effectiveness", table2.run),
+    "fig1": ("Noise impact on BSP apps (conceptual, generated)", fig1.run),
+    "fig2": ("IHK/McKernel architecture (live rendering)", fig2.run),
+    "fig3": ("FWQ noise time series", fig3.run),
+    "fig4": ("FWQ latency CDFs at scale", fig4.run),
+    "fig5": ("CORAL apps on OFP", fig5.run),
+    "fig6": ("LQCD/GeoFEM/GAMERA on OFP", fig6.run),
+    "fig7": ("LQCD/GeoFEM/GAMERA on Fugaku", fig7.run),
+    "summary": ("Headline averages", summary.run),
+    # Extension (not a paper artefact): the §8 outlook quantified.
+    "exascale": ("Projection beyond Fugaku", exascale.run),
+}
+
+
+def run_experiment(experiment_id: str, fast: bool = True,
+                   seed: int = 0) -> ExperimentResult:
+    """Run one registered experiment by id."""
+    try:
+        _, runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(fast=fast, seed=seed)
+
+
+def run_all(fast: bool = True, seed: int = 0) -> dict[str, ExperimentResult]:
+    """Run every experiment, in registry order."""
+    return {
+        eid: run_experiment(eid, fast=fast, seed=seed) for eid in EXPERIMENTS
+    }

@@ -1,0 +1,55 @@
+"""Plain-text rendering of experiment outputs.
+
+Every experiment renders to the same shapes the paper prints: tables
+with header rows, and series (x, y[, yerr]) blocks for figures.  No
+plotting dependency — benches `tee` these to text files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Fixed-width table with a rule under the header."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[float],
+                  yerr: Sequence[float] | None = None,
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """One figure series as aligned columns."""
+    lines = [f"series: {name}  ({x_label} vs {y_label})"]
+    for i, (x, y) in enumerate(zip(xs, ys)):
+        err = f"  +/- {yerr[i]:.4g}" if yerr is not None else ""
+        lines.append(f"  {str(x):>10}  {y:.4g}{err}")
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result wrapper: machine-readable data + paper-style text."""
+
+    experiment_id: str
+    title: str
+    data: dict = field(default_factory=dict)
+    text: str = ""
+    #: paper-reported reference values for side-by-side display, where
+    #: the paper gives concrete numbers.
+    paper_reference: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        header = f"=== {self.experiment_id}: {self.title} ==="
+        return f"{header}\n{self.text}"

@@ -1,0 +1,83 @@
+"""TAB1 — Table 1: overview of platforms and Linux runtime settings."""
+
+from __future__ import annotations
+
+from ..hardware.machines import fugaku, oakforest_pacs
+from ..kernel.tuning import fugaku_production, ofp_default
+from ..units import fmt_bytes
+from .report import ExperimentResult, format_table
+
+
+def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+    """Regenerate Table 1 from the machine and tuning models (both
+    arguments are accepted for registry uniformity; the table is
+    deterministic)."""
+    ofp = oakforest_pacs()
+    fug = fugaku()
+    ofp_tune = ofp_default()
+    fug_tune = fugaku_production()
+
+    def node_row(attr: str, o, f) -> list:
+        return [attr, o, f]
+
+    rows = [
+        node_row("CPU model", ofp.node.name, fug.node.name),
+        node_row("ISA", ofp.node.arch, fug.node.arch),
+        node_row(
+            "CPU cores",
+            f"{ofp.node.topology.physical_cores}, "
+            f"{ofp.node.topology.smt}-way SMT",
+            f"{fug.node.topology.physical_cores} "
+            f"({fug.node.topology.assistant_cores} assistant), no SMT",
+        ),
+        node_row(
+            "TLB entries (L1/L2)",
+            f"{ofp.node.tlb.l1_entries}/{ofp.node.tlb.l2_entries}",
+            f"{fug.node.tlb.l1_entries}/{fug.node.tlb.l2_entries}",
+        ),
+        node_row(
+            "Memory",
+            " & ".join(
+                f"{fmt_bytes(d.size_bytes)} {d.kind.value.upper()}"
+                for d in ofp.node.numa
+            ),
+            f"{fmt_bytes(fug.node.numa.total_bytes())} HBM2",
+        ),
+        node_row("nohz_full on app cores",
+                 "Yes" if ofp_tune.nohz_full else "No",
+                 "Yes" if fug_tune.nohz_full else "No"),
+        node_row("CPU isolation",
+                 "cgroups" if ofp_tune.cgroup_cpu_isolation else "No",
+                 "cgroups" if fug_tune.cgroup_cpu_isolation else "No"),
+        node_row("IRQ steering",
+                 "Routed to OS cores" if ofp_tune.irq_to_assistant
+                 else "Balanced across chip",
+                 "Routed to OS cores" if fug_tune.irq_to_assistant
+                 else "Balanced across chip"),
+        node_row("Large page support",
+                 ofp_tune.large_pages.value.upper(),
+                 fug_tune.large_pages.value.upper()),
+        node_row("Peak performance",
+                 f"{ofp.peak_pflops:g} PFlops", f"{fug.peak_pflops:g} PFlops"),
+        node_row("Compute nodes", f"{ofp.n_nodes:,}", f"{fug.n_nodes:,}"),
+        node_row("Interconnect", ofp.interconnect, fug.interconnect),
+    ]
+    text = format_table(
+        ["Attribute", "Oakforest-PACS", "Fugaku"], rows,
+        title="Table 1: platforms and Linux runtime settings",
+    )
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Overview of platforms and Linux runtime settings",
+        data={
+            "ofp": {"nodes": ofp.n_nodes, "tlb_l2": ofp.node.tlb.l2_entries},
+            "fugaku": {"nodes": fug.n_nodes, "tlb_l2": fug.node.tlb.l2_entries},
+        },
+        text=text,
+        paper_reference={
+            "ofp_nodes": 8192,
+            "fugaku_nodes": 158976,
+            "ofp_tlb_l2": 64,
+            "fugaku_tlb_l2": 1024,
+        },
+    )

@@ -1,0 +1,88 @@
+"""A64FX sector cache: way-partitioning of the L2 between system and
+application traffic (§4.2, "CPU caches").
+
+The A64FX L2 is 8 MiB per CMG, 16-way.  The *sector cache* feature lets
+software assign cache ways to sectors; Fugaku assigns one sector to the
+assistant (system) cores and one to the application cores so OS activity
+cannot evict application data.
+
+We model the capacity effect only: a partition changes the effective L2
+size seen by each side, which feeds the memory cost model.  Replacement-
+policy detail is irrelevant at the granularity of the paper's results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Static geometry of one cache level."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 256  # A64FX uses 256-byte L2 lines
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0 or self.line_bytes <= 0:
+            raise ConfigurationError("cache geometry must be positive")
+        if self.size_bytes % self.ways != 0:
+            raise ConfigurationError("cache size must divide evenly into ways")
+
+    @property
+    def way_bytes(self) -> int:
+        return self.size_bytes // self.ways
+
+
+class SectorCache:
+    """Way-partitioned cache with two sectors: system and application."""
+
+    def __init__(self, spec: CacheSpec, system_ways: int = 0) -> None:
+        self.spec = spec
+        self.set_partition(system_ways)
+
+    def set_partition(self, system_ways: int) -> None:
+        """Assign ``system_ways`` ways to the system sector (0 disables
+        partitioning: everyone shares the full cache)."""
+        if not 0 <= system_ways < self.spec.ways:
+            raise ConfigurationError(
+                f"system_ways={system_ways} must be in [0, {self.spec.ways})"
+            )
+        self.system_ways = system_ways
+
+    @property
+    def partitioned(self) -> bool:
+        return self.system_ways > 0
+
+    def effective_size(self, is_system: bool) -> int:
+        """Cache capacity visible to one side under the current partition."""
+        if not self.partitioned:
+            return self.spec.size_bytes
+        ways = self.system_ways if is_system else self.spec.ways - self.system_ways
+        return ways * self.spec.way_bytes
+
+    def pollution_factor(self, system_traffic_fraction: float) -> float:
+        """Multiplier (>= 1) on application memory-stall time caused by
+        system-side cache pollution.
+
+        With the sector cache enabled the factor is exactly 1 (perfect
+        isolation).  Without it, system traffic evicts application lines
+        in proportion to its share of fills.
+        """
+        if not 0.0 <= system_traffic_fraction <= 1.0:
+            raise ConfigurationError(
+                "system_traffic_fraction must be in [0, 1]"
+            )
+        if self.partitioned:
+            return 1.0
+        return 1.0 + system_traffic_fraction
+
+
+#: A64FX L2: 8 MiB, 16-way, per CMG.
+A64FX_L2 = CacheSpec(size_bytes=8 * 1024 * 1024, ways=16)
+
+#: KNL tile L2: 1 MiB, 16-way, shared by 2 cores (no sector feature).
+KNL_L2 = CacheSpec(size_bytes=1024 * 1024, ways=16, line_bytes=64)

@@ -1,0 +1,92 @@
+"""A64FX hardware barrier (§4.1.5).
+
+The A64FX provides in-silicon barrier registers that synchronise
+threads/processes within a node far faster than a software (shared
+memory) barrier tree.  Fugaku's OpenMP runtime uses it; this module
+models the latency difference and exposes a functional barrier object
+that the DES-level runtime can use.
+
+Barrier windows are a finite hardware resource (the A64FX provides a
+small number of barrier-blade registers per CMG); allocation is modelled
+so that over-subscription falls back to software barriers, which is what
+the real runtime does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, ResourceError
+from ..units import ns, us
+
+
+@dataclass(frozen=True)
+class BarrierSpec:
+    """Latency parameters for intra-node synchronisation."""
+
+    #: Latency of one hardware-barrier synchronisation, seconds.
+    hw_latency: float = ns(200.0)
+    #: Per-level latency of a software barrier tree, seconds.
+    sw_hop_latency: float = ns(450.0)
+    #: Hardware barrier windows available per node.
+    windows: int = 8
+
+    def __post_init__(self) -> None:
+        if self.hw_latency <= 0 or self.sw_hop_latency <= 0:
+            raise ConfigurationError("latencies must be positive")
+        if self.windows < 0:
+            raise ConfigurationError("windows must be non-negative")
+
+    def sw_latency(self, n_threads: int) -> float:
+        """Software tree barrier: ceil(log2(n)) hop levels."""
+        if n_threads <= 0:
+            raise ConfigurationError("n_threads must be positive")
+        if n_threads == 1:
+            return 0.0
+        return math.ceil(math.log2(n_threads)) * self.sw_hop_latency
+
+
+class HardwareBarrierAllocator:
+    """Tracks hardware barrier window allocation on one node."""
+
+    def __init__(self, spec: BarrierSpec) -> None:
+        self.spec = spec
+        self._allocated: dict[int, int] = {}  # window id -> n_threads
+        self._next_id = 0
+
+    @property
+    def available(self) -> int:
+        return self.spec.windows - len(self._allocated)
+
+    def allocate(self, n_threads: int) -> int:
+        """Reserve a window for a thread team; returns the window id."""
+        if n_threads <= 0:
+            raise ConfigurationError("n_threads must be positive")
+        if self.available <= 0:
+            raise ResourceError("no free hardware barrier windows")
+        wid = self._next_id
+        self._next_id += 1
+        self._allocated[wid] = n_threads
+        return wid
+
+    def release(self, window_id: int) -> None:
+        if window_id not in self._allocated:
+            raise ResourceError(f"barrier window {window_id} not allocated")
+        del self._allocated[window_id]
+
+    def sync_latency(self, window_id: int | None, n_threads: int) -> float:
+        """Latency of one barrier: hardware if a window is held, else the
+        software tree fallback."""
+        if window_id is not None:
+            if window_id not in self._allocated:
+                raise ResourceError(f"barrier window {window_id} not allocated")
+            return self.spec.hw_latency
+        return self.spec.sw_latency(n_threads)
+
+
+#: A64FX: HW barrier present.
+A64FX_BARRIER = BarrierSpec(hw_latency=ns(200.0), sw_hop_latency=ns(450.0), windows=8)
+
+#: KNL: no hardware barrier — zero windows forces the software path.
+KNL_BARRIER = BarrierSpec(hw_latency=us(1.0), sw_hop_latency=ns(600.0), windows=0)

@@ -1,0 +1,103 @@
+"""Memory bandwidth sharing: the §4.2.2 "hardware sharing" channel.
+
+"Such interference may occur due to the fact that memory bandwidth to
+the main memory and/or to the last level cache are shared by multiple
+CPU cores."  This module models that channel for the NUMA domains of a
+node: consumers register their streaming demand against a domain; once
+aggregate demand exceeds the domain's bandwidth, everyone on it stalls
+proportionally.
+
+The model is per-domain because both machines localise traffic:
+A64FX's CMG-local HBM2 stacks and KNL's quadrant mode both mean a
+well-bound rank only contends with its domain's co-tenants — exactly
+why NUMA-aware binding (§4.1.4) and virtual NUMA nodes (§4.1.2) matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .numa import NumaDomain, NumaLayout
+
+
+@dataclass
+class _DomainLoad:
+    demands: dict[str, float] = field(default_factory=dict)
+
+    def total(self) -> float:
+        return sum(self.demands.values())
+
+
+class BandwidthModel:
+    """Tracks streaming demand per NUMA domain and prices the stalls."""
+
+    def __init__(self, layout: NumaLayout) -> None:
+        self.layout = layout
+        self._loads: dict[int, _DomainLoad] = {
+            d.node_id: _DomainLoad() for d in layout
+        }
+
+    # -- demand registration ---------------------------------------------
+
+    def register(self, consumer: str, node_id: int,
+                 bytes_per_second: float) -> None:
+        """Declare a consumer's steady streaming demand on a domain."""
+        if bytes_per_second < 0:
+            raise ConfigurationError("demand must be non-negative")
+        self.layout.domain(node_id)  # validates
+        self._loads[node_id].demands[consumer] = bytes_per_second
+
+    def unregister(self, consumer: str, node_id: int) -> None:
+        load = self._loads.get(node_id)
+        if load is None or consumer not in load.demands:
+            raise ConfigurationError(
+                f"{consumer!r} has no demand on node {node_id}"
+            )
+        del load.demands[consumer]
+
+    # -- derived quantities -----------------------------------------------
+
+    def saturation(self, node_id: int) -> float:
+        """Aggregate demand / domain bandwidth (can exceed 1)."""
+        domain = self.layout.domain(node_id)
+        return self._loads[node_id].total() / domain.bandwidth
+
+    def slowdown(self, node_id: int) -> float:
+        """Stall multiplier (>= 1) every consumer on the domain sees.
+
+        Below saturation the fabric absorbs the demand; above it,
+        achieved bandwidth scales down by the oversubscription ratio, so
+        a streaming phase takes ``saturation`` times longer.
+        """
+        return max(1.0, self.saturation(node_id))
+
+    def achieved_bandwidth(self, consumer: str, node_id: int) -> float:
+        """Fair-share bandwidth the consumer actually gets."""
+        load = self._loads[node_id]
+        demand = load.demands.get(consumer)
+        if demand is None:
+            raise ConfigurationError(
+                f"{consumer!r} has no demand on node {node_id}"
+            )
+        return demand / self.slowdown(node_id)
+
+    def effective_stream_time(self, consumer: str, node_id: int,
+                              nbytes: int) -> float:
+        """Seconds for the consumer to stream ``nbytes`` under the
+        current contention."""
+        if nbytes < 0:
+            raise ConfigurationError("nbytes must be non-negative")
+        bw = self.achieved_bandwidth(consumer, node_id)
+        if bw <= 0:
+            raise ConfigurationError("consumer declared zero demand")
+        return nbytes / bw
+
+
+def rank_bandwidth_demand(refs_per_second: float,
+                          bytes_per_ref: float = 64.0) -> float:
+    """Convert an application profile's reference rate to bytes/s of
+    memory traffic (one cache line per off-chip reference)."""
+    if refs_per_second < 0 or bytes_per_ref <= 0:
+        raise ConfigurationError("invalid reference traffic parameters")
+    return refs_per_second * bytes_per_ref

@@ -1,0 +1,159 @@
+"""NUMA domains and the Fugaku *virtual NUMA node* technique (§4.1.2).
+
+Two layers are modelled:
+
+* **Physical NUMA**: memory controllers with distinct kinds and sizes
+  (MCDRAM vs DDR4 on KNL in flat mode; four HBM2 stacks, one per CMG,
+  on A64FX).
+* **Virtual NUMA nodes**: Fugaku firmware splits the physical address
+  space into *system* and *application* areas exposed as separate NUMA
+  domains, so that non-application allocations can never fragment
+  application memory.  We model this as a partitioning of each physical
+  domain into sub-domains tagged with a :class:`NumaRole`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+
+class MemoryKind(enum.Enum):
+    """Technology of a memory domain (affects bandwidth/latency model)."""
+
+    DDR4 = "ddr4"
+    MCDRAM = "mcdram"
+    HBM2 = "hbm2"
+
+
+class NumaRole(enum.Enum):
+    """Who may allocate from a domain."""
+
+    GENERAL = "general"        # anyone (no virtual-NUMA split)
+    SYSTEM = "system"          # OS daemons, kernel allocations
+    APPLICATION = "application"  # user jobs only
+
+
+@dataclass(frozen=True)
+class NumaDomain:
+    """One NUMA memory domain visible to the kernel."""
+
+    node_id: int
+    kind: MemoryKind
+    size_bytes: int
+    role: NumaRole = NumaRole.GENERAL
+    #: Core group (CMG) this domain is local to; -1 = interleaved/far.
+    group_id: int = -1
+    #: Stream bandwidth in bytes/s (used by the memory cost model).
+    bandwidth: float = 100e9
+    #: Idle load-to-use latency in seconds.
+    latency: float = 90e-9
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ConfigurationError("NUMA domain size must be positive")
+        if self.bandwidth <= 0 or self.latency <= 0:
+            raise ConfigurationError("bandwidth and latency must be positive")
+
+
+class NumaLayout:
+    """The set of NUMA domains of one node plus lookup helpers."""
+
+    def __init__(self, domains: Sequence[NumaDomain]) -> None:
+        if not domains:
+            raise ConfigurationError("a node needs at least one NUMA domain")
+        ids = [d.node_id for d in domains]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate NUMA node ids: {ids}")
+        self.domains: tuple[NumaDomain, ...] = tuple(
+            sorted(domains, key=lambda d: d.node_id)
+        )
+
+    def __iter__(self):
+        return iter(self.domains)
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+    def domain(self, node_id: int) -> NumaDomain:
+        for d in self.domains:
+            if d.node_id == node_id:
+                return d
+        raise ConfigurationError(f"no NUMA node {node_id}")
+
+    def total_bytes(self) -> int:
+        return sum(d.size_bytes for d in self.domains)
+
+    def by_role(self, role: NumaRole) -> list[NumaDomain]:
+        return [d for d in self.domains if d.role == role]
+
+    def application_bytes(self) -> int:
+        """Memory usable by applications (APPLICATION + GENERAL roles)."""
+        return sum(
+            d.size_bytes
+            for d in self.domains
+            if d.role in (NumaRole.APPLICATION, NumaRole.GENERAL)
+        )
+
+    def local_domain(self, group_id: int, role: NumaRole) -> NumaDomain:
+        """The domain local to core group ``group_id`` with role ``role``
+        (falling back to GENERAL if no split is configured)."""
+        for d in self.domains:
+            if d.group_id == group_id and d.role == role:
+                return d
+        for d in self.domains:
+            if d.group_id == group_id and d.role == NumaRole.GENERAL:
+                return d
+        raise ConfigurationError(
+            f"no NUMA domain local to group {group_id} with role {role}"
+        )
+
+
+def split_virtual_numa(
+    domains: Sequence[NumaDomain], system_fraction: float
+) -> NumaLayout:
+    """Apply the Fugaku virtual-NUMA firmware split to a physical layout.
+
+    Every GENERAL domain is replaced by a SYSTEM sub-domain holding
+    ``system_fraction`` of its capacity and an APPLICATION sub-domain
+    holding the rest.  Node ids are renumbered densely with application
+    domains first (mirroring Fugaku, where applications see nodes 4-7).
+    """
+    if not 0.0 < system_fraction < 1.0:
+        raise ConfigurationError(
+            f"system_fraction must be in (0,1), got {system_fraction}"
+        )
+    app: list[NumaDomain] = []
+    sys_: list[NumaDomain] = []
+    for d in domains:
+        if d.role != NumaRole.GENERAL:
+            raise ConfigurationError(
+                "virtual NUMA split applies to GENERAL domains only"
+            )
+        sys_bytes = int(d.size_bytes * system_fraction)
+        app_bytes = d.size_bytes - sys_bytes
+        app.append(
+            NumaDomain(
+                node_id=-1, kind=d.kind, size_bytes=app_bytes,
+                role=NumaRole.APPLICATION, group_id=d.group_id,
+                bandwidth=d.bandwidth, latency=d.latency,
+            )
+        )
+        sys_.append(
+            NumaDomain(
+                node_id=-1, kind=d.kind, size_bytes=sys_bytes,
+                role=NumaRole.SYSTEM, group_id=d.group_id,
+                bandwidth=d.bandwidth, latency=d.latency,
+            )
+        )
+    renumbered = [
+        NumaDomain(
+            node_id=i, kind=d.kind, size_bytes=d.size_bytes, role=d.role,
+            group_id=d.group_id, bandwidth=d.bandwidth, latency=d.latency,
+        )
+        for i, d in enumerate(app + sys_)
+    ]
+    return NumaLayout(renumbered)

@@ -1,0 +1,171 @@
+"""TLB model: capacity, reach, miss cost, and flush semantics.
+
+Table 1 of the paper records the attribute this module exists for:
+Xeon Phi has 64 last-level TLB entries, A64FX has 1,024.  Combined with
+page size this determines *TLB reach* and thus the page-fault/TLB-miss
+cost of an application's working set.
+
+Section 4.2.2 describes the A64FX-specific problem we also model: the
+ARM64 ``TLBI`` instruction can invalidate in the whole Inner-Shareable
+domain (all cores); on A64FX one broadcast TLBI delays *every other
+core* by about 200 ns, and memory-release paths can issue hundreds to
+thousands of consecutive TLBIs — i.e. hundreds of microseconds of noise
+on cores that did nothing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import ns
+
+
+class TlbFlushMode(enum.Enum):
+    """How remote TLB invalidation is carried out."""
+
+    BROADCAST = "broadcast"      # ARM64 TLBI IS: one instruction, hits all cores
+    IPI = "ipi"                  # x86-style: IPI + local flush on each target
+    LOCAL_ONLY = "local_only"    # RHEL 8.2 patch: single-core processes flush locally
+
+
+@dataclass(frozen=True)
+class TlbSpec:
+    """Static TLB parameters of a CPU."""
+
+    l1_entries: int
+    l2_entries: int
+    #: Penalty of one L2 TLB miss (page-table walk), seconds.
+    miss_cost: float
+    #: Delay inflicted on *each other core* by one broadcast TLBI, seconds.
+    broadcast_victim_cost: float
+    #: Cost on the issuing core of one TLBI / local invalidate, seconds.
+    local_flush_cost: float
+    #: Cost of one IPI round-trip for software shootdown, seconds.
+    ipi_cost: float
+
+    def __post_init__(self) -> None:
+        if self.l1_entries <= 0 or self.l2_entries <= 0:
+            raise ConfigurationError("TLB entry counts must be positive")
+        for f in (self.miss_cost, self.broadcast_victim_cost,
+                  self.local_flush_cost, self.ipi_cost):
+            if f < 0:
+                raise ConfigurationError("TLB costs must be non-negative")
+
+    def reach_bytes(self, page_size: int) -> int:
+        """Address-space coverage of the last-level TLB at ``page_size``."""
+        if page_size <= 0:
+            raise ConfigurationError("page size must be positive")
+        return self.l2_entries * page_size
+
+
+#: A64FX TLB: 16 L1 / 1,024 L2 entries (Table 1); 200 ns broadcast victim
+#: penalty (§4.2.2 measurement).  Walk and IPI costs use typical aarch64
+#: figures from the A64FX microarchitecture manual's latency tables.
+A64FX_TLB = TlbSpec(
+    l1_entries=16,
+    l2_entries=1024,
+    miss_cost=ns(170.0),
+    broadcast_victim_cost=ns(200.0),
+    local_flush_cost=ns(25.0),
+    ipi_cost=ns(2000.0),
+)
+
+#: Knights Landing TLB: 64 L1 / 64 L2 entries (Table 1).  KNL (x86) has
+#: no broadcast TLBI — remote shootdown is always IPI-based.
+KNL_TLB = TlbSpec(
+    l1_entries=64,
+    l2_entries=64,
+    miss_cost=ns(135.0),
+    broadcast_victim_cost=0.0,
+    local_flush_cost=ns(40.0),
+    ipi_cost=ns(2500.0),
+)
+
+
+class TlbModel:
+    """Cost calculator for TLB traffic under a given flush mode.
+
+    The model is intentionally analytic (no per-access simulation): the
+    experiments only need the aggregate miss cost of a working set and
+    the interference profile of flush storms.
+    """
+
+    def __init__(self, spec: TlbSpec, flush_mode: TlbFlushMode) -> None:
+        self.spec = spec
+        self.flush_mode = flush_mode
+
+    # -- miss-side ------------------------------------------------------
+
+    def miss_rate(self, working_set: int, page_size: int,
+                  locality: float = 0.9) -> float:
+        """Fraction of memory references missing the last-level TLB.
+
+        Simple fractional-coverage model: references hitting the covered
+        fraction of the working set (plus a ``locality`` reuse bonus on
+        the uncovered part) do not miss.  Exact TLB simulation would need
+        a trace; coverage captures the paper-relevant effect that huge
+        pages * big TLB => near-zero misses on A64FX.
+        """
+        if working_set <= 0:
+            return 0.0
+        if not 0.0 <= locality < 1.0:
+            raise ConfigurationError("locality must be in [0, 1)")
+        reach = self.spec.reach_bytes(page_size)
+        uncovered = max(0.0, 1.0 - reach / working_set)
+        return uncovered * (1.0 - locality)
+
+    def miss_overhead(self, working_set: int, page_size: int,
+                      refs_per_second: float, locality: float = 0.9) -> float:
+        """Seconds of page-walk time per second of execution."""
+        return (
+            self.miss_rate(working_set, page_size, locality)
+            * refs_per_second
+            * self.spec.miss_cost
+        )
+
+    # -- flush-side -------------------------------------------------------
+
+    def shootdown_cost(self, n_flushes: int, n_target_cores: int,
+                       threads_on_one_core: bool = False) -> float:
+        """Issuing-core cost of invalidating ``n_flushes`` entries on
+        ``n_target_cores`` remote cores."""
+        if n_flushes < 0 or n_target_cores < 0:
+            raise ConfigurationError("counts must be non-negative")
+        s = self.spec
+        if self.flush_mode is TlbFlushMode.LOCAL_ONLY and threads_on_one_core:
+            # The RHEL 8.2 patch: single-core processes use non-broadcast
+            # TLBI; remote cores are untouched.
+            return n_flushes * s.local_flush_cost
+        if self.flush_mode is TlbFlushMode.IPI:
+            # One IPI round per target core, flushes batched per core.
+            return n_target_cores * s.ipi_cost + n_flushes * s.local_flush_cost
+        # Broadcast: the instruction itself is cheap for the issuer.
+        return n_flushes * s.local_flush_cost
+
+    def victim_delay(self, n_flushes: int,
+                     threads_on_one_core: bool = False) -> float:
+        """Delay inflicted on each *other* core of the chip by a flush
+        storm of ``n_flushes`` invalidations.  This is the §4.2.2 noise:
+        200 ns per TLBI, hundreds of microseconds for storms."""
+        if n_flushes < 0:
+            raise ConfigurationError("n_flushes must be non-negative")
+        if self.flush_mode is TlbFlushMode.LOCAL_ONLY and threads_on_one_core:
+            return 0.0
+        if self.flush_mode is TlbFlushMode.BROADCAST:
+            return n_flushes * self.spec.broadcast_victim_cost
+        return 0.0  # IPI mode only disturbs explicit targets
+
+    def storm_victim_delays(
+        self, storm_sizes: np.ndarray, threads_on_one_core: bool = False
+    ) -> np.ndarray:
+        """Vectorized :meth:`victim_delay` over an array of storm sizes."""
+        sizes = np.asarray(storm_sizes, dtype=float)
+        if self.flush_mode is TlbFlushMode.LOCAL_ONLY and threads_on_one_core:
+            return np.zeros_like(sizes)
+        if self.flush_mode is TlbFlushMode.BROADCAST:
+            return sizes * self.spec.broadcast_victim_cost
+        return np.zeros_like(sizes)

@@ -1,0 +1,161 @@
+"""CPU topology: physical cores, SMT hardware threads, core groups.
+
+The paper's two processors differ in exactly the attributes modelled here:
+
+* Intel Xeon Phi 7250 (Oakforest-PACS): 68 physical cores, 4-way SMT,
+  272 logical CPUs, tiles of 2 cores sharing an L2.
+* Fujitsu A64FX (Fugaku): 48 application + 2-4 assistant cores, no SMT,
+  organised as 4 Core Memory Groups (CMGs) of 12 application cores.
+
+Logical CPU numbering follows Linux convention: logical CPU ids are
+dense ``0..n-1``; each maps to (physical core, SMT thread index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LogicalCpu:
+    """One schedulable hardware thread."""
+
+    cpu_id: int
+    core_id: int
+    smt_index: int
+    group_id: int  # CMG on A64FX, quadrant/tile group on KNL
+    is_assistant: bool = False  # dedicated OS/system core (A64FX)
+
+
+class CpuTopology:
+    """Immutable description of a node's CPU complex.
+
+    Parameters
+    ----------
+    physical_cores:
+        Total physical cores, including assistant cores.
+    smt:
+        Hardware threads per core (1 = no SMT).
+    cores_per_group:
+        Physical cores per NUMA-adjacent group (CMG / quadrant slice).
+        Assistant cores live outside the groups.
+    assistant_cores:
+        Number of physical cores reserved by the platform for system use
+        (0 when the platform has no such notion, e.g. KNL).
+    """
+
+    def __init__(
+        self,
+        physical_cores: int,
+        smt: int = 1,
+        cores_per_group: int | None = None,
+        assistant_cores: int = 0,
+    ) -> None:
+        if physical_cores <= 0 or smt <= 0:
+            raise ConfigurationError("physical_cores and smt must be positive")
+        if assistant_cores < 0 or assistant_cores >= physical_cores:
+            raise ConfigurationError(
+                f"assistant_cores={assistant_cores} out of range for "
+                f"{physical_cores} cores"
+            )
+        app_cores = physical_cores - assistant_cores
+        if cores_per_group is None:
+            cores_per_group = app_cores
+        if cores_per_group <= 0 or app_cores % cores_per_group != 0:
+            raise ConfigurationError(
+                f"{app_cores} application cores not divisible into groups "
+                f"of {cores_per_group}"
+            )
+        self.physical_cores = physical_cores
+        self.smt = smt
+        self.cores_per_group = cores_per_group
+        self.assistant_cores = assistant_cores
+        self.n_groups = app_cores // cores_per_group
+
+        # Assistant cores get the lowest core ids (mirrors Fugaku, where
+        # cores 0-1 are the assistant cores and IRQs are steered to them).
+        cpus: list[LogicalCpu] = []
+        cpu_id = 0
+        for smt_index in range(smt):
+            for core_id in range(physical_cores):
+                is_assist = core_id < assistant_cores
+                if is_assist:
+                    group = -1
+                else:
+                    group = (core_id - assistant_cores) // cores_per_group
+                cpus.append(
+                    LogicalCpu(
+                        cpu_id=cpu_id,
+                        core_id=core_id,
+                        smt_index=smt_index,
+                        group_id=group,
+                        is_assistant=is_assist,
+                    )
+                )
+                cpu_id += 1
+        self._cpus: tuple[LogicalCpu, ...] = tuple(cpus)
+
+    # -- basic queries --------------------------------------------------
+
+    @property
+    def logical_cpus(self) -> int:
+        return len(self._cpus)
+
+    def cpu(self, cpu_id: int) -> LogicalCpu:
+        try:
+            return self._cpus[cpu_id]
+        except IndexError:
+            raise ConfigurationError(
+                f"cpu id {cpu_id} out of range 0..{self.logical_cpus - 1}"
+            ) from None
+
+    def __iter__(self) -> Iterator[LogicalCpu]:
+        return iter(self._cpus)
+
+    def __len__(self) -> int:
+        return self.logical_cpus
+
+    # -- partition helpers -----------------------------------------------
+
+    def assistant_cpu_ids(self) -> list[int]:
+        """Logical CPUs on assistant (system) cores."""
+        return [c.cpu_id for c in self._cpus if c.is_assistant]
+
+    def application_cpu_ids(self) -> list[int]:
+        """Logical CPUs on application cores."""
+        return [c.cpu_id for c in self._cpus if not c.is_assistant]
+
+    def group_cpu_ids(self, group_id: int) -> list[int]:
+        """Logical CPUs belonging to one core group (CMG)."""
+        if not 0 <= group_id < self.n_groups:
+            raise ConfigurationError(
+                f"group {group_id} out of range 0..{self.n_groups - 1}"
+            )
+        return [c.cpu_id for c in self._cpus if c.group_id == group_id]
+
+    def siblings(self, cpu_id: int) -> list[int]:
+        """All logical CPUs sharing the physical core of ``cpu_id``
+        (including itself) — i.e. SMT siblings."""
+        core = self.cpu(cpu_id).core_id
+        return [c.cpu_id for c in self._cpus if c.core_id == core]
+
+    def validate_cpu_set(self, cpu_ids: Sequence[int]) -> frozenset[int]:
+        """Validate and normalise a CPU set, raising on unknown ids or
+        duplicates."""
+        seen: set[int] = set()
+        for cid in cpu_ids:
+            self.cpu(cid)  # range check
+            if cid in seen:
+                raise ConfigurationError(f"duplicate cpu id {cid} in cpu set")
+            seen.add(cid)
+        return frozenset(seen)
+
+    def __repr__(self) -> str:
+        return (
+            f"CpuTopology(cores={self.physical_cores}, smt={self.smt}, "
+            f"groups={self.n_groups}x{self.cores_per_group}, "
+            f"assistant={self.assistant_cores})"
+        )

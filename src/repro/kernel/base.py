@@ -1,0 +1,95 @@
+"""Common interface of an OS personality running on a node.
+
+:class:`OsInstance` is what the runtime and noise layers program
+against; :class:`repro.kernel.linux.LinuxKernel` and
+:class:`repro.mckernel.lwk.McKernelInstance` implement it.  The
+interface is deliberately narrow — exactly the OS-dependent knobs the
+paper's evaluation exercises.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from ..hardware.machines import NodeSpec
+from .costmodel import CostModel
+from .pagetable import PageGeometry, PageKind
+from .tasks import SystemTask
+
+if TYPE_CHECKING:
+    from .buddy import BuddyAllocator
+    from .pagetable import AddressSpace
+
+
+class OsInstance(abc.ABC):
+    """One booted OS personality on one node design."""
+
+    #: Short identifier: "linux" or "mckernel".
+    kind: str
+    node: NodeSpec
+    costs: CostModel
+
+    # -- CPU layout ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def app_cpu_ids(self) -> list[int]:
+        """Logical CPUs applications run on under this OS."""
+
+    @abc.abstractmethod
+    def system_cpu_ids(self) -> list[int]:
+        """Logical CPUs running OS/system work (Linux side for McKernel)."""
+
+    # -- memory ---------------------------------------------------------------
+
+    @abc.abstractmethod
+    def app_page_geometry(self) -> PageGeometry:
+        """Page geometry applications see."""
+
+    @abc.abstractmethod
+    def app_page_kind(self) -> PageKind:
+        """Granularity used for application heap/stack/data mappings."""
+
+    @abc.abstractmethod
+    def make_address_space(self, memory_scale: float = 1.0) -> "AddressSpace":
+        """A fresh application address space backed by this OS's
+        application memory.  ``memory_scale`` shrinks the physical pool
+        for fast tests (page *sizes* are unchanged)."""
+
+    # -- syscalls & devices ----------------------------------------------------
+
+    @abc.abstractmethod
+    def syscall_delegated(self, name: str) -> bool:
+        """Is ``name`` served locally or offloaded to another kernel?"""
+
+    @property
+    def rdma_fast_path(self) -> bool:
+        """True when RDMA registration bypasses the syscall/delegation
+        path (Tofu PicoDriver)."""
+        return False
+
+    # -- noise -------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def noise_tasks_on_app_cores(self) -> list[SystemTask]:
+        """System tasks whose activity can delay application cores,
+        after this OS's placement/countermeasure rules are applied."""
+
+    @abc.abstractmethod
+    def tick_rate_on_app_cores(self) -> float:
+        """Timer interrupts per second on an application core."""
+
+    # -- caches -----------------------------------------------------------------
+
+    def cache_pollution_factor(self) -> float:
+        """Multiplier (>= 1) on application memory-stall time from
+        system-side cache pollution."""
+        return 1.0
+
+    def describe(self) -> str:
+        app = len(self.app_cpu_ids())
+        sys_ = len(self.system_cpu_ids())
+        return (
+            f"{self.kind} on {self.node.name}: {app} app CPUs, "
+            f"{sys_} system CPUs, pages={self.app_page_kind().value}"
+        )

@@ -1,0 +1,187 @@
+"""Binary buddy page allocator with fragmentation accounting.
+
+This is a real buddy system (split/coalesce over power-of-two orders),
+not a statistical stand-in, because two of the paper's mechanisms depend
+on its concrete behaviour:
+
+* §4.1.2 *virtual NUMA nodes* exist to keep non-application allocations
+  from fragmenting application memory — observable here as the failure
+  rate of high-order allocations after churn;
+* §4.1.3 hugeTLBfs *overcommit* allocates surplus huge pages "by the
+  buddy allocator at runtime", which only succeeds while a large-enough
+  free block exists.
+
+The allocator manages one NUMA domain's page frames.  Orders are powers
+of two of the base page size; a 2 MiB huge page on a 64 KiB-base system
+is an order-5 allocation (32 pages, the ARM64 contiguous-bit unit), and
+a 512 MiB page is order-13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, OutOfMemoryError
+
+
+@dataclass(frozen=True)
+class BlockRange:
+    """A contiguous allocation: [start_pfn, start_pfn + 2**order)."""
+
+    start_pfn: int
+    order: int
+
+    @property
+    def n_pages(self) -> int:
+        return 1 << self.order
+
+
+class BuddyAllocator:
+    """Buddy allocator over ``n_pages`` page frames (need not be a power
+    of two; the pool is seeded greedily with maximal aligned blocks)."""
+
+    MAX_ORDER = 14  # up to 2**14 base pages in one block
+
+    def __init__(self, n_pages: int, max_order: int | None = None) -> None:
+        if n_pages <= 0:
+            raise ConfigurationError("n_pages must be positive")
+        self.max_order = self.MAX_ORDER if max_order is None else max_order
+        if not 0 <= self.max_order <= 30:
+            raise ConfigurationError("max_order out of range")
+        self.n_pages = n_pages
+        # free_lists[k] = set of start PFNs of free blocks of order k.
+        self.free_lists: list[set[int]] = [set() for _ in range(self.max_order + 1)]
+        self._allocated: dict[int, int] = {}  # start_pfn -> order
+        self._seed_pool()
+
+    def _seed_pool(self) -> None:
+        pfn = 0
+        remaining = self.n_pages
+        while remaining > 0:
+            order = min(self.max_order, remaining.bit_length() - 1)
+            # Respect buddy alignment: block start must be order-aligned.
+            while order > 0 and pfn & ((1 << order) - 1):
+                order -= 1
+            self.free_lists[order].add(pfn)
+            pfn += 1 << order
+            remaining -= 1 << order
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def free_pages(self) -> int:
+        return sum(len(blocks) << order
+                   for order, blocks in enumerate(self.free_lists))
+
+    @property
+    def allocated_pages(self) -> int:
+        return self.n_pages - self.free_pages
+
+    def largest_free_order(self) -> int:
+        """Order of the biggest free block, or -1 if nothing is free."""
+        for order in range(self.max_order, -1, -1):
+            if self.free_lists[order]:
+                return order
+        return -1
+
+    def can_allocate(self, order: int) -> bool:
+        self._check_order(order)
+        return self.largest_free_order() >= order
+
+    def fragmentation_index(self, order: int) -> float:
+        """Linux-style external fragmentation index for ``order``:
+        0 = free memory is perfectly usable at this order,
+        -> 1 = plenty of free pages but none contiguous enough.
+        Returns 0.0 when a block of the order is available."""
+        self._check_order(order)
+        if self.can_allocate(order):
+            return 0.0
+        free = self.free_pages
+        if free == 0:
+            return 0.0  # OOM, not fragmentation
+        requested = 1 << order
+        blocks_needed = -(-free // requested)
+        total_blocks = sum(len(b) for b in self.free_lists)
+        return max(0.0, 1.0 - blocks_needed / total_blocks)
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(self, order: int = 0) -> BlockRange:
+        """Allocate a block of ``2**order`` contiguous pages.
+
+        Raises :class:`OutOfMemoryError` when no free block of sufficient
+        order exists — which due to fragmentation can happen even while
+        ``free_pages`` is large (the effect virtual NUMA nodes prevent).
+        """
+        self._check_order(order)
+        found = -1
+        for k in range(order, self.max_order + 1):
+            if self.free_lists[k]:
+                found = k
+                break
+        if found < 0:
+            raise OutOfMemoryError(
+                f"no free block of order {order} "
+                f"({self.free_pages} pages free but fragmented)"
+            )
+        pfn = min(self.free_lists[found])  # deterministic choice
+        self.free_lists[found].discard(pfn)
+        # Split down to the requested order, returning upper halves.
+        while found > order:
+            found -= 1
+            buddy = pfn + (1 << found)
+            self.free_lists[found].add(buddy)
+        self._allocated[pfn] = order
+        return BlockRange(start_pfn=pfn, order=order)
+
+    def free(self, block: BlockRange) -> None:
+        """Free a previously-allocated block, coalescing with buddies."""
+        pfn, order = block.start_pfn, block.order
+        if self._allocated.get(pfn) != order:
+            raise ConfigurationError(
+                f"free of unallocated block pfn={pfn} order={order}"
+            )
+        del self._allocated[pfn]
+        while order < self.max_order:
+            buddy = pfn ^ (1 << order)
+            if buddy in self.free_lists[order] and buddy + (1 << order) <= self.n_pages:
+                self.free_lists[order].discard(buddy)
+                pfn = min(pfn, buddy)
+                order += 1
+            else:
+                break
+        self.free_lists[order].add(pfn)
+
+    def alloc_pages(self, n: int) -> list[BlockRange]:
+        """Allocate ``n`` pages as a list of order-0..k blocks (used for
+        normal-page demand paging where contiguity is not required)."""
+        if n <= 0:
+            raise ConfigurationError("n must be positive")
+        if n > self.free_pages:
+            raise OutOfMemoryError(f"need {n} pages, {self.free_pages} free")
+        blocks: list[BlockRange] = []
+        remaining = n
+        try:
+            while remaining > 0:
+                order = min(self.max_order, remaining.bit_length() - 1)
+                while order > 0 and not self.can_allocate(order):
+                    order -= 1
+                blocks.append(self.alloc(order))
+                remaining -= 1 << order
+        except OutOfMemoryError:
+            for b in blocks:
+                self.free(b)
+            raise
+        return blocks
+
+    def _check_order(self, order: int) -> None:
+        if not 0 <= order <= self.max_order:
+            raise ConfigurationError(
+                f"order {order} out of range 0..{self.max_order}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"BuddyAllocator(pages={self.n_pages}, free={self.free_pages}, "
+            f"largest_order={self.largest_free_order()})"
+        )

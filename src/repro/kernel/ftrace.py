@@ -1,0 +1,101 @@
+"""ftrace-style kernel event tracing.
+
+§4.2.1: "For identifying kernel mode tasks that interfere with
+application code we utilize execution time profiling and ftrace".  The
+noise-audit example reproduces that workflow: run FWQ with tracing
+enabled, aggregate trace events by actor, and rank the interference
+sources — which is how the blk-mq placement bug was found.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One kernel activity record."""
+
+    timestamp: float
+    cpu_id: int
+    actor: str      # task/handler name (e.g. "kworker/u8:3", "irq/64")
+    event: str      # e.g. "sched_switch", "irq_entry", "tlb_flush"
+    duration: float
+
+
+@dataclass
+class ActorSummary:
+    """Aggregated interference attributed to one actor."""
+
+    actor: str
+    count: int = 0
+    total_time: float = 0.0
+    max_duration: float = 0.0
+
+    def add(self, ev: TraceEvent) -> None:
+        self.count += 1
+        self.total_time += ev.duration
+        self.max_duration = max(self.max_duration, ev.duration)
+
+
+class Ftrace:
+    """In-memory trace buffer with per-CPU filtering and reporting."""
+
+    def __init__(self, buffer_size: int = 1_000_000) -> None:
+        self.buffer_size = buffer_size
+        self.events: list[TraceEvent] = []
+        self.enabled = False
+        self.dropped = 0
+
+    def start(self) -> None:
+        self.enabled = True
+
+    def stop(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    def record(self, ev: TraceEvent) -> None:
+        if not self.enabled:
+            return
+        if len(self.events) >= self.buffer_size:
+            self.dropped += 1  # ring buffer overwrite, modelled as a drop
+            self.events.pop(0)
+        self.events.append(ev)
+
+    # -- analysis -------------------------------------------------------
+
+    def filter(
+        self,
+        cpus: Optional[Iterable[int]] = None,
+        actors: Optional[Iterable[str]] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> list[TraceEvent]:
+        cpu_set = set(cpus) if cpus is not None else None
+        actor_set = set(actors) if actors is not None else None
+        out = []
+        for ev in self.events:
+            if cpu_set is not None and ev.cpu_id not in cpu_set:
+                continue
+            if actor_set is not None and ev.actor not in actor_set:
+                continue
+            if predicate is not None and not predicate(ev):
+                continue
+            out.append(ev)
+        return out
+
+    def interference_report(
+        self, app_cpus: Iterable[int]
+    ) -> list[ActorSummary]:
+        """Rank actors by total time stolen on application CPUs — the
+        §4.2.1 methodology.  Returns summaries sorted worst-first."""
+        summaries: dict[str, ActorSummary] = {}
+        for ev in self.filter(cpus=app_cpus):
+            s = summaries.get(ev.actor)
+            if s is None:
+                s = summaries[ev.actor] = ActorSummary(actor=ev.actor)
+            s.add(ev)
+        return sorted(summaries.values(), key=lambda s: -s.total_time)

@@ -1,0 +1,161 @@
+"""hugeTLBfs: boot-time pools, overcommit, surplus pages, cgroup charge.
+
+§4.1.3 describes Fugaku's configuration precisely:
+
+* normally hugeTLBfs *reserves a pool at boot*, which starves apps that
+  want normal pages;
+* Fugaku instead enables **overcommit without a reserved pool** and lets
+  surplus huge pages be allocated **by the buddy allocator at runtime**;
+* stock memcg cannot limit surplus pages, so a kernel-module hook
+  charges them to the memory cgroup (modelled in
+  :mod:`repro.kernel.cgroup`).
+
+This module ties those pieces together: a :class:`HugeTlbPool` per
+(NUMA domain, page kind) that serves ``get_page``/``put_page`` either
+from the boot pool or by order-N buddy allocation, with optional cgroup
+charging on the surplus path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CgroupLimitExceeded, ConfigurationError, OutOfMemoryError
+from .buddy import BlockRange, BuddyAllocator
+from .cgroup import Cgroup
+from .pagetable import PageGeometry, PageKind
+
+
+@dataclass
+class HugeTlbStats:
+    """Mirrors /sys/kernel/mm/hugepages counters."""
+
+    pool_size: int = 0       # nr_hugepages (persistent pool)
+    free: int = 0            # free_hugepages
+    surplus: int = 0         # surplus_hugepages
+    reserved: int = 0        # resv_hugepages
+    alloc_fail: int = 0      # failed surplus allocations (fragmentation/OOM)
+
+
+class HugeTlbPool:
+    """Huge page pool for one page kind over one buddy allocator."""
+
+    def __init__(
+        self,
+        geometry: PageGeometry,
+        buddy: BuddyAllocator,
+        page_kind: PageKind = PageKind.CONTIG,
+        boot_pool_pages: int = 0,
+        overcommit_limit: int | None = None,
+    ) -> None:
+        if page_kind is PageKind.BASE:
+            raise ConfigurationError("hugeTLBfs pools hold huge pages only")
+        self.geometry = geometry
+        self.buddy = buddy
+        self.page_kind = page_kind
+        self.order = geometry.order_of(page_kind)
+        self.page_bytes = geometry.size_of(page_kind)
+        #: None = unlimited overcommit (Fugaku's configuration);
+        #: 0 = overcommit disabled (stock default).
+        self.overcommit_limit = overcommit_limit
+        self.stats = HugeTlbStats()
+        self._pool_blocks: list[BlockRange] = []
+        self._surplus_blocks: dict[int, BlockRange] = {}
+        if boot_pool_pages:
+            self.grow_pool(boot_pool_pages)
+
+    # -- pool management (sysctl nr_hugepages) ------------------------------
+
+    def grow_pool(self, n_pages: int) -> int:
+        """Reserve ``n_pages`` more persistent huge pages at "boot".
+        Returns how many were actually obtained (the kernel silently
+        grows as far as contiguity allows)."""
+        got = 0
+        for _ in range(n_pages):
+            try:
+                self._pool_blocks.append(self.buddy.alloc(self.order))
+            except OutOfMemoryError:
+                break
+            got += 1
+        self.stats.pool_size += got
+        self.stats.free += got
+        return got
+
+    def shrink_pool(self, n_pages: int) -> int:
+        """Return up to ``n_pages`` free persistent pages to the buddy."""
+        released = 0
+        while released < n_pages and self.stats.free > 0 and self._pool_blocks:
+            self.buddy.free(self._pool_blocks.pop())
+            self.stats.free -= 1
+            self.stats.pool_size -= 1
+            released += 1
+        return released
+
+    # -- page faults ---------------------------------------------------------
+
+    def get_page(self, cgroup: Cgroup | None = None) -> BlockRange:
+        """Obtain one huge page for a fault.
+
+        Order of service mirrors the kernel: free pool first, then (if
+        overcommit allows) a surplus page straight from the buddy.  The
+        surplus path charges ``cgroup`` — effective only when the group
+        has the Fugaku charge hook enabled.
+        """
+        if self.stats.free > 0:
+            self.stats.free -= 1
+            block = self._pool_blocks.pop()
+            if cgroup is not None:
+                # Pool pages are regular memcg charges on Fugaku too.
+                try:
+                    cgroup.memory.charge(self.page_bytes, surplus_hugetlb=False)
+                except CgroupLimitExceeded:
+                    self._pool_blocks.append(block)
+                    self.stats.free += 1
+                    raise
+            return block
+        if self.overcommit_limit is not None and (
+            self.stats.surplus >= self.overcommit_limit
+        ):
+            self.stats.alloc_fail += 1
+            raise OutOfMemoryError(
+                f"hugetlb overcommit limit {self.overcommit_limit} reached"
+            )
+        if cgroup is not None:
+            cgroup.memory.charge(self.page_bytes, surplus_hugetlb=True)
+        try:
+            block = self.buddy.alloc(self.order)
+        except OutOfMemoryError:
+            if cgroup is not None:
+                cgroup.memory.uncharge(self.page_bytes, surplus_hugetlb=True)
+            self.stats.alloc_fail += 1
+            raise
+        self.stats.surplus += 1
+        self._surplus_blocks[block.start_pfn] = block
+        return block
+
+    def put_page(self, block: BlockRange, cgroup: Cgroup | None = None) -> None:
+        """Release a huge page.  Surplus pages go back to the buddy (and
+        are uncharged); pool pages return to the free pool."""
+        if block.start_pfn in self._surplus_blocks:
+            del self._surplus_blocks[block.start_pfn]
+            self.buddy.free(block)
+            self.stats.surplus -= 1
+            if cgroup is not None:
+                cgroup.memory.uncharge(self.page_bytes, surplus_hugetlb=True)
+        else:
+            self._pool_blocks.append(block)
+            self.stats.free += 1
+            if cgroup is not None:
+                cgroup.memory.uncharge(self.page_bytes, surplus_hugetlb=False)
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def in_use(self) -> int:
+        """Huge pages currently handed out."""
+        return (self.stats.pool_size - self.stats.free) + self.stats.surplus
+
+    def normal_pages_stolen(self) -> int:
+        """Base pages made unavailable by the persistent pool — the §4.1.3
+        disadvantage of boot-time reservation for small-allocation apps."""
+        return self.stats.pool_size * (1 << self.order)

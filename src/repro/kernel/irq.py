@@ -1,0 +1,104 @@
+"""Device interrupt routing (/proc/irq/N/smp_affinity).
+
+Table 1 records the deployment difference this module captures: on OFP
+"device IRQs are balanced across the entire chip", while on Fugaku they
+are "routed to OS cores" by writing the procfs affinity masks (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class IrqDescriptor:
+    """One interrupt line."""
+
+    irq: int
+    name: str
+    #: Mean interrupts per second under normal load.
+    rate_hz: float
+    #: Handler duration per interrupt, seconds.
+    handler_cost: float
+    smp_affinity: frozenset[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.rate_hz < 0 or self.handler_cost < 0:
+            raise ConfigurationError("IRQ rate/cost must be non-negative")
+
+
+class IrqRouter:
+    """Holds the IRQ table of a node and applies routing policies."""
+
+    def __init__(self, all_cpus: Sequence[int]) -> None:
+        if not all_cpus:
+            raise ConfigurationError("need at least one CPU")
+        self.all_cpus = frozenset(all_cpus)
+        self.irqs: dict[int, IrqDescriptor] = {}
+
+    def register(self, desc: IrqDescriptor) -> None:
+        if desc.irq in self.irqs:
+            raise ConfigurationError(f"duplicate IRQ {desc.irq}")
+        if not desc.smp_affinity:
+            desc.smp_affinity = self.all_cpus
+        if not desc.smp_affinity <= self.all_cpus:
+            raise ConfigurationError(
+                f"IRQ {desc.irq} affinity references unknown CPUs"
+            )
+        self.irqs[desc.irq] = desc
+
+    def set_affinity(self, irq: int, cpus: Iterable[int]) -> None:
+        """Equivalent of ``echo mask > /proc/irq/N/smp_affinity``."""
+        if irq not in self.irqs:
+            raise ConfigurationError(f"unknown IRQ {irq}")
+        cpu_set = frozenset(cpus)
+        if not cpu_set:
+            raise ConfigurationError("affinity mask cannot be empty")
+        if not cpu_set <= self.all_cpus:
+            raise ConfigurationError("affinity references unknown CPUs")
+        self.irqs[irq].smp_affinity = cpu_set
+
+    def route_all_to(self, cpus: Iterable[int]) -> None:
+        """Fugaku policy: steer every device IRQ to the assistant cores."""
+        cpu_set = frozenset(cpus)
+        for irq in self.irqs:
+            self.set_affinity(irq, cpu_set)
+
+    def rate_on_cpu(self, cpu_id: int) -> float:
+        """Expected interrupts/s landing on one CPU (irqbalance spreads
+        each line uniformly over its affinity mask)."""
+        rate = 0.0
+        for desc in self.irqs.values():
+            if cpu_id in desc.smp_affinity:
+                rate += desc.rate_hz / len(desc.smp_affinity)
+        return rate
+
+    def load_on_cpu(self, cpu_id: int) -> float:
+        """Expected handler seconds per second on one CPU."""
+        load = 0.0
+        for desc in self.irqs.values():
+            if cpu_id in desc.smp_affinity:
+                load += desc.rate_hz * desc.handler_cost / len(desc.smp_affinity)
+        return load
+
+
+def default_irq_table(all_cpus: Sequence[int], interconnect: str) -> IrqRouter:
+    """A representative IRQ population for a compute node: NIC queues,
+    block I/O completion, and miscellaneous platform interrupts."""
+    router = IrqRouter(all_cpus)
+    nic_name = "tofu" if "tofu" in interconnect.lower() else "hfi1"
+    for q in range(4):
+        router.register(
+            IrqDescriptor(irq=64 + q, name=f"{nic_name}-q{q}",
+                          rate_hz=250.0, handler_cost=3e-6)
+        )
+    router.register(
+        IrqDescriptor(irq=80, name="nvme0q0", rate_hz=20.0, handler_cost=5e-6)
+    )
+    router.register(
+        IrqDescriptor(irq=9, name="acpi", rate_hz=0.5, handler_cost=2e-6)
+    )
+    return router

@@ -1,0 +1,130 @@
+"""khugepaged — THP's background collapse daemon, functionally.
+
+Transparent Huge Pages fault anonymous memory in at base granularity
+and rely on this daemon to later *collapse* aligned runs of base pages
+into huge pages.  Its mechanics are why the OFP environment behaves the
+way the paper observes:
+
+* collapse requires a free huge-sized block from the buddy — under
+  fragmentation it fails (or triggers direct compaction, the stall
+  modelled as noise in :func:`repro.noise.catalog.khugepaged_source`);
+* the scan itself consumes CPU on whatever core it runs;
+* and collapse only helps *after* the fact: fresh churned memory always
+  pays base-page faults first (the LULESH cost in the runner).
+
+The model operates on real :class:`~repro.kernel.pagetable.AddressSpace`
+objects: a scan pass walks eligible VMAs, allocates a huge block,
+releases the base blocks, and rewrites the mapping — observable in TLB
+entry counts and buddy state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, OutOfMemoryError
+from .pagetable import AddressSpace, PageKind, Vma, VmaKind
+
+
+@dataclass
+class KhugepagedStats:
+    """Mirrors /sys/kernel/mm/transparent_hugepage/khugepaged counters."""
+
+    pages_scanned: int = 0
+    pages_collapsed: int = 0
+    collapse_alloc_failed: int = 0
+    full_scans: int = 0
+
+
+class Khugepaged:
+    """The collapse daemon for one address space's THP-eligible memory."""
+
+    def __init__(self, space: AddressSpace,
+                 target_kind: PageKind = PageKind.HUGE) -> None:
+        if target_kind is PageKind.BASE:
+            raise ConfigurationError("collapse target must be a huge size")
+        geo = space.geometry
+        if target_kind is PageKind.CONTIG and not geo.contig_factor:
+            raise ConfigurationError("platform has no contiguous bit")
+        self.space = space
+        self.target_kind = target_kind
+        self.target_order = geo.order_of(target_kind)
+        self.target_bytes = geo.size_of(target_kind)
+        self.stats = KhugepagedStats()
+
+    # -- eligibility ------------------------------------------------------
+
+    def _eligible(self, vma: Vma) -> bool:
+        return (
+            vma.kind in (VmaKind.HEAP, VmaKind.DATA, VmaKind.STACK)
+            and vma.page_kind is PageKind.BASE
+            and not vma.cow_shared  # shared pages cannot collapse
+            and vma.populated_bytes >= self.target_bytes
+        )
+
+    # -- one scan pass ----------------------------------------------------------
+
+    def scan(self, max_collapses: int | None = None) -> int:
+        """One full scan: collapse as many aligned huge-sized runs of
+        base pages as the buddy allows.  Returns collapses performed."""
+        collapses = 0
+        base = self.space.geometry.base
+        run = self.target_bytes // base  # base pages per huge page
+        for vma in list(self.space.vmas.values()):
+            if not self._eligible(vma):
+                continue
+            self.stats.pages_scanned += len(vma.blocks)
+            # Group the populated base blocks into candidate runs.
+            while (max_collapses is None or collapses < max_collapses):
+                candidate = self._first_base_run(vma, run)
+                if candidate is None:
+                    break
+                try:
+                    huge = self.space.buddy.alloc(self.target_order)
+                except OutOfMemoryError:
+                    # Fragmentation: the §4.1.3 failure mode (would
+                    # trigger direct compaction on a real kernel).
+                    self.stats.collapse_alloc_failed += 1
+                    return collapses
+                start, end = candidate
+                for block in vma.blocks[start:end]:
+                    self.space.buddy.free(block)
+                vma.blocks[start:end] = [huge]
+                # The VMA now holds mixed granularities; record it as
+                # collapsed by retagging once everything is huge.
+                self.stats.pages_collapsed += run
+                collapses += 1
+            if self._fully_collapsed(vma, run):
+                vma.page_kind = self.target_kind
+        self.stats.full_scans += 1
+        return collapses
+
+    def _first_base_run(self, vma: Vma, run: int) -> tuple[int, int] | None:
+        """Find ``run`` consecutive order-0 blocks in the VMA's block
+        list (our alignment proxy: a contiguous span of base blocks)."""
+        count = 0
+        start = 0
+        for i, block in enumerate(vma.blocks):
+            if block.order == 0:
+                if count == 0:
+                    start = i
+                count += 1
+                if count == run:
+                    return start, start + run
+            else:
+                count = 0
+        return None
+
+    def _fully_collapsed(self, vma: Vma, run: int) -> bool:
+        return bool(vma.blocks) and all(
+            b.order == self.target_order for b in vma.blocks
+        )
+
+    # -- effect ---------------------------------------------------------------------
+
+    def tlb_entries_saved(self) -> int:
+        """Last-level TLB entries freed by the collapses so far."""
+        run = self.target_bytes // self.space.geometry.base
+        return self.stats.pages_collapsed - (
+            self.stats.pages_collapsed // run
+        )

@@ -1,0 +1,116 @@
+"""procfs/sysfs-style introspection of a simulated kernel.
+
+The paper's tuning work is procfs archaeology — ``/proc/irq/N/
+smp_affinity`` writes, kworker cpumask sysfs files, hugepage counters —
+so the simulator exposes the same surface: :func:`render` produces a
+virtual file tree of a :class:`~repro.kernel.linux.LinuxKernel`'s state
+whose formats follow the kernel's, making the model debuggable with the
+same eyes one uses on real nodes (and making examples/tests readable to
+HPC operators).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .linux import LinuxKernel
+from .tuning import LargePagePolicy
+
+
+def _cpumask(cpus, n_cpus: int) -> str:
+    """Render a CPU set as the kernel's hex bitmask format."""
+    mask = 0
+    for c in cpus:
+        mask |= 1 << c
+    width = max(1, (n_cpus + 3) // 4)
+    return format(mask, f"0{width}x")
+
+
+def _cpulist(cpus) -> str:
+    """Render a CPU set as the kernel's list format (e.g. '2-11,14')."""
+    cpus = sorted(cpus)
+    if not cpus:
+        return ""
+    ranges = []
+    start = prev = cpus[0]
+    for c in cpus[1:]:
+        if c == prev + 1:
+            prev = c
+            continue
+        ranges.append((start, prev))
+        start = prev = c
+    ranges.append((start, prev))
+    return ",".join(f"{a}-{b}" if a != b else f"{a}" for a, b in ranges)
+
+
+def render(kernel: LinuxKernel, memory_scale: float = 0.01) -> dict[str, str]:
+    """The virtual file tree: path -> contents."""
+    topo = kernel.node.topology
+    n_cpus = topo.logical_cpus
+    files: dict[str, str] = {}
+
+    # /proc/cmdline — the boot arguments the tuning implies.
+    args = []
+    if kernel.tuning.nohz_full:
+        args.append(f"nohz_full={_cpulist(kernel.app_cpu_ids())}")
+    if kernel.tuning.large_pages is LargePagePolicy.HUGETLBFS:
+        args.append("hugepagesz=2M")
+    files["/proc/cmdline"] = " ".join(args) or "(default)"
+
+    # /proc/irq/N/smp_affinity
+    for irq, desc in sorted(kernel.irq.irqs.items()):
+        files[f"/proc/irq/{irq}/smp_affinity"] = _cpumask(
+            desc.smp_affinity, n_cpus)
+        files[f"/proc/irq/{irq}/name"] = desc.name
+
+    # cgroup cpusets
+    if kernel.cgroup_app is not None:
+        files["/sys/fs/cgroup/app/cpuset.cpus"] = _cpulist(
+            kernel.cgroup_app.cpuset.cpus)
+        files["/sys/fs/cgroup/app/cpuset.mems"] = _cpulist(
+            kernel.cgroup_app.cpuset.mems)
+        assert kernel.cgroup_system is not None
+        files["/sys/fs/cgroup/system/cpuset.cpus"] = _cpulist(
+            kernel.cgroup_system.cpuset.cpus)
+        limit = kernel.cgroup_app.memory.limit_bytes
+        files["/sys/fs/cgroup/app/memory.max"] = (
+            str(limit) if limit is not None else "max")
+
+    # hugepage counters
+    if kernel.tuning.large_pages is LargePagePolicy.HUGETLBFS:
+        pool = kernel.hugetlb_pool(memory_scale)
+        base = "/sys/kernel/mm/hugepages/hugepages-2048kB"
+        files[f"{base}/nr_hugepages"] = str(pool.stats.pool_size)
+        files[f"{base}/free_hugepages"] = str(pool.stats.free)
+        files[f"{base}/surplus_hugepages"] = str(pool.stats.surplus)
+        files[f"{base}/nr_overcommit_hugepages"] = (
+            "unlimited" if pool.overcommit_limit is None
+            else str(pool.overcommit_limit))
+
+    # THP switch
+    thp = ("always" if kernel.tuning.large_pages is LargePagePolicy.THP
+           else "never")
+    files["/sys/kernel/mm/transparent_hugepage/enabled"] = thp
+
+    # NUMA summary
+    for domain in kernel.numa:
+        files[f"/sys/devices/system/node/node{domain.node_id}/meminfo"] = (
+            f"Node {domain.node_id} MemTotal: {domain.size_bytes // 1024} kB "
+            f"({domain.kind.value}, {domain.role.value})"
+        )
+
+    # The task population the tuning leaves on application cores.
+    visible = kernel.noise_tasks_on_app_cores()
+    files["/proc/interference"] = "\n".join(
+        f"{t.name} interval={t.interval:g}s max={t.duration.upper:g}s"
+        for t in visible
+    ) or "(none)"
+    return files
+
+
+def read(kernel: LinuxKernel, path: str, memory_scale: float = 0.01) -> str:
+    """Read one virtual file (raises like a missing procfs entry)."""
+    files = render(kernel, memory_scale)
+    try:
+        return files[path]
+    except KeyError:
+        raise ConfigurationError(f"no such proc file: {path}") from None

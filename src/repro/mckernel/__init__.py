@@ -1,0 +1,51 @@
+"""IHK/McKernel: the lightweight multi-kernel OS (the paper's system)."""
+
+from .ihk import (
+    Ihk,
+    LwkPartition,
+    MemoryReservation,
+    OsState,
+    reserve_fugaku_style,
+)
+from .ikc import IkcChannel, IkcMessage, IkcPair, IkcSpec
+from .lwk import McKernelInstance, McKernelProcess, boot_mckernel
+from .picodriver import Stag, StagTable, TofuPicoDriver, registration_cost_path
+from .proxy import DelegationRecord, OpenFile, ProxyProcess
+from .signals import Sig, SignalDelivery, SignalState
+from .syscalls import (
+    DELEGATED_EXAMPLES,
+    LOCAL_SYSCALLS,
+    UNSUPPORTED,
+    is_delegated,
+    is_local,
+)
+
+__all__ = [
+    "Ihk",
+    "LwkPartition",
+    "MemoryReservation",
+    "OsState",
+    "reserve_fugaku_style",
+    "IkcChannel",
+    "IkcMessage",
+    "IkcPair",
+    "IkcSpec",
+    "McKernelInstance",
+    "McKernelProcess",
+    "boot_mckernel",
+    "Stag",
+    "StagTable",
+    "TofuPicoDriver",
+    "registration_cost_path",
+    "DelegationRecord",
+    "OpenFile",
+    "ProxyProcess",
+    "Sig",
+    "SignalDelivery",
+    "SignalState",
+    "DELEGATED_EXAMPLES",
+    "LOCAL_SYSCALLS",
+    "UNSUPPORTED",
+    "is_delegated",
+    "is_local",
+]

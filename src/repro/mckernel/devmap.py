@@ -1,0 +1,128 @@
+"""Direct device mappings — McKernel's zero-delegation device access.
+
+§5: "Relying on the proxy process, McKernel provides transparent access
+to Linux device drivers not only in the form of offloaded system calls
+(e.g., through write() or ioctl()), but also via direct device
+mappings" [18].
+
+The mechanism: the *setup* path is delegated — the proxy opens the
+device and performs the driver mmap on the Linux side — but the
+resulting physical device range (MMIO registers, doorbells, queues) is
+then installed directly into the LWK page table, so every subsequent
+access is ordinary user-mode load/store with **zero** kernel
+involvement on either side.  This is the substrate the Tofu PicoDriver
+builds on: its fast path works precisely because the Tofu control
+registers are direct-mapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigurationError, SyscallError
+from ..units import us
+
+
+@dataclass(frozen=True)
+class DeviceRegion:
+    """A mappable region a Linux driver exports (BAR / doorbell page)."""
+
+    device: str          # e.g. "/dev/tofu0"
+    offset: int          # offset within the device's mappable space
+    length: int
+    #: Access latency of one uncached MMIO load/store, seconds.
+    access_latency: float = 150e-9
+
+    def __post_init__(self) -> None:
+        if self.length <= 0 or self.offset < 0:
+            raise ConfigurationError("invalid device region geometry")
+        if self.access_latency <= 0:
+            raise ConfigurationError("access_latency must be positive")
+
+
+@dataclass
+class DeviceMapping:
+    """One live direct mapping in an LWK process."""
+
+    region: DeviceRegion
+    lwk_va: int
+    setup_cost: float
+    accesses: int = 0
+    access_time: float = 0.0
+    active: bool = True
+
+    def access(self, n: int = 1) -> float:
+        """N direct MMIO accesses: pure hardware latency, no kernel."""
+        if not self.active:
+            raise SyscallError("EFAULT", "mapping torn down")
+        if n <= 0:
+            raise ConfigurationError("n must be positive")
+        cost = n * self.region.access_latency
+        self.accesses += n
+        self.access_time += cost
+        return cost
+
+
+class DeviceMapper:
+    """Per-process device mapping service.
+
+    ``map_region`` walks the real setup path — delegated open + ioctl
+    (priced with the IKC round trip) followed by the IHK page-table
+    install — and returns a :class:`DeviceMapping` whose accesses are
+    then free of any OS cost.
+    """
+
+    #: LWK-side page-table install cost per mapping.
+    INSTALL_COST = us(3.0)
+
+    def __init__(self, process) -> None:
+        # ``process`` is a McKernelProcess; typed loosely to avoid an
+        # import cycle with lwk.py.
+        self.process = process
+        self.mappings: list[DeviceMapping] = []
+        self._next_va = 0x7F00_0000_0000
+
+    def map_region(self, region: DeviceRegion) -> tuple[DeviceMapping, float]:
+        """Establish a direct mapping; returns (mapping, setup_seconds)."""
+        if not self.process.alive:
+            raise SyscallError("ESRCH", "process exited")
+        # Setup rides the proxy: open the device, driver mmap via ioctl.
+        fd = self.process.syscall("open", region.device)
+        self.process.syscall("ioctl", fd, "MAP_REGION",
+                             {"offset": region.offset,
+                              "length": region.length})
+        self.process.syscall("close", fd)
+        costs = self.process.instance.costs
+        ikc = self.process.instance.partition.ikc.round_trip
+        setup = 3 * (costs.syscall_cost() + ikc) + self.INSTALL_COST
+        mapping = DeviceMapping(region=region, lwk_va=self._next_va,
+                                setup_cost=setup)
+        self._next_va += max(region.length, 1 << 16)
+        self.mappings.append(mapping)
+        return mapping, setup
+
+    def unmap(self, mapping: DeviceMapping) -> None:
+        if mapping not in self.mappings:
+            raise SyscallError("EINVAL", "unknown mapping")
+        mapping.active = False
+        self.mappings.remove(mapping)
+
+    def teardown(self) -> int:
+        """Process exit: every mapping dies.  Returns how many."""
+        n = len(self.mappings)
+        for m in self.mappings:
+            m.active = False
+        self.mappings.clear()
+        return n
+
+
+def delegated_access_cost(process, n: int = 1) -> float:
+    """What the same N device accesses would cost WITHOUT the direct
+    mapping: each one is an ioctl offloaded over IKC — the §5.1
+    'additional latency' the PicoDriver exists to remove."""
+    if n <= 0:
+        raise ConfigurationError("n must be positive")
+    costs = process.instance.costs
+    ikc = process.instance.partition.ikc.round_trip
+    return n * (costs.syscall_cost() + costs.ioctl_extra + ikc)

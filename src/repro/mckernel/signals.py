@@ -1,0 +1,155 @@
+"""POSIX signal support in McKernel (§5: "it supports standard POSIX
+signaling").
+
+Signals are one of the "performance sensitive" services McKernel serves
+*locally* — a signal between two LWK threads must not take an IKC round
+trip.  The model implements dispositions (default / ignore / handler),
+blocking masks, pending sets with standard-signal coalescing, and the
+default actions (terminate / ignore / stop / continue) with correct
+SIGKILL/SIGSTOP immutability.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import SyscallError
+
+
+class Sig(enum.IntEnum):
+    """The signals the experiments and tests exercise."""
+
+    SIGHUP = 1
+    SIGINT = 2
+    SIGQUIT = 3
+    SIGKILL = 9
+    SIGUSR1 = 10
+    SIGSEGV = 11
+    SIGUSR2 = 12
+    SIGTERM = 15
+    SIGCHLD = 17
+    SIGCONT = 18
+    SIGSTOP = 19
+
+
+class DefaultAction(enum.Enum):
+    TERMINATE = "terminate"
+    IGNORE = "ignore"
+    STOP = "stop"
+    CONTINUE = "continue"
+
+
+_DEFAULTS: dict[Sig, DefaultAction] = {
+    Sig.SIGHUP: DefaultAction.TERMINATE,
+    Sig.SIGINT: DefaultAction.TERMINATE,
+    Sig.SIGQUIT: DefaultAction.TERMINATE,
+    Sig.SIGKILL: DefaultAction.TERMINATE,
+    Sig.SIGUSR1: DefaultAction.TERMINATE,
+    Sig.SIGSEGV: DefaultAction.TERMINATE,
+    Sig.SIGUSR2: DefaultAction.TERMINATE,
+    Sig.SIGTERM: DefaultAction.TERMINATE,
+    Sig.SIGCHLD: DefaultAction.IGNORE,
+    Sig.SIGCONT: DefaultAction.CONTINUE,
+    Sig.SIGSTOP: DefaultAction.STOP,
+}
+
+#: Signals whose disposition and mask cannot be changed.
+UNCATCHABLE: frozenset[Sig] = frozenset({Sig.SIGKILL, Sig.SIGSTOP})
+
+
+@dataclass
+class SignalDelivery:
+    """Record of one delivered signal (for tests / traces)."""
+
+    sig: Sig
+    action: str  # "handler" | "terminate" | "ignore" | "stop" | "continue"
+
+
+@dataclass
+class SignalState:
+    """Per-process signal machinery."""
+
+    handlers: dict[Sig, Callable[[Sig], None]] = field(default_factory=dict)
+    ignored: set[Sig] = field(default_factory=set)
+    blocked: set[Sig] = field(default_factory=set)
+    pending: set[Sig] = field(default_factory=set)
+    delivered: list[SignalDelivery] = field(default_factory=list)
+    terminated_by: Optional[Sig] = None
+    stopped: bool = False
+
+    # -- rt_sigaction ---------------------------------------------------
+
+    def sigaction(self, sig: Sig,
+                  handler: Optional[Callable[[Sig], None]]) -> None:
+        """Install a handler; ``None`` restores SIG_DFL; the special
+        string-free way to SIG_IGN is :meth:`ignore`."""
+        if sig in UNCATCHABLE:
+            raise SyscallError("EINVAL", f"cannot catch {sig.name}")
+        self.ignored.discard(sig)
+        if handler is None:
+            self.handlers.pop(sig, None)
+        else:
+            self.handlers[sig] = handler
+
+    def ignore(self, sig: Sig) -> None:
+        if sig in UNCATCHABLE:
+            raise SyscallError("EINVAL", f"cannot ignore {sig.name}")
+        self.handlers.pop(sig, None)
+        self.ignored.add(sig)
+
+    # -- rt_sigprocmask -------------------------------------------------------
+
+    def block(self, sigs: set[Sig]) -> None:
+        if UNCATCHABLE & sigs:
+            # The kernel silently refuses to block KILL/STOP.
+            sigs = sigs - UNCATCHABLE
+        self.blocked |= sigs
+
+    def unblock(self, sigs: set[Sig]) -> None:
+        self.blocked -= sigs
+        self._drain()
+
+    # -- delivery -------------------------------------------------------------
+
+    def send(self, sig: Sig) -> None:
+        """Post a signal to the process (kill/tgkill)."""
+        if self.terminated_by is not None:
+            raise SyscallError("ESRCH", "process already terminated")
+        if sig in self.blocked:
+            # Standard signals coalesce while pending.
+            self.pending.add(sig)
+            return
+        self._deliver(sig)
+
+    def _drain(self) -> None:
+        for sig in sorted(self.pending):
+            if sig not in self.blocked:
+                self.pending.discard(sig)
+                self._deliver(sig)
+                if self.terminated_by is not None:
+                    return
+
+    def _deliver(self, sig: Sig) -> None:
+        if sig in self.ignored:
+            self.delivered.append(SignalDelivery(sig, "ignore"))
+            return
+        handler = self.handlers.get(sig)
+        if handler is not None:
+            self.delivered.append(SignalDelivery(sig, "handler"))
+            handler(sig)
+            return
+        action = _DEFAULTS[sig]
+        self.delivered.append(SignalDelivery(sig, action.value))
+        if action is DefaultAction.TERMINATE:
+            self.terminated_by = sig
+        elif action is DefaultAction.STOP:
+            self.stopped = True
+        elif action is DefaultAction.CONTINUE:
+            self.stopped = False
+        # IGNORE: nothing.
+
+    @property
+    def alive(self) -> bool:
+        return self.terminated_by is None

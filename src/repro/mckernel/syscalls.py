@@ -1,0 +1,63 @@
+"""McKernel's system-call table: local vs delegated (§5).
+
+"McKernel implements only a small set of performance sensitive system
+calls and the rest of the OS services are delegated to Linux."  The
+local set is memory management, processes/threads, the cooperative
+scheduler entry points, POSIX signals, inter-process mappings, and
+perf-counter access; everything touching files, devices, sockets, or
+Linux-private state rides the proxy.
+"""
+
+from __future__ import annotations
+
+from ..errors import SyscallError
+
+#: Performance-sensitive syscalls McKernel implements natively.
+LOCAL_SYSCALLS: frozenset[str] = frozenset(
+    {
+        # memory management
+        "mmap", "munmap", "mprotect", "brk", "madvise", "mremap",
+        "mbind", "get_mempolicy", "set_mempolicy",
+        # processes and threads
+        "clone", "fork", "vfork", "execve_local", "exit", "exit_group",
+        "gettid", "getpid", "getppid", "set_tid_address",
+        # scheduling
+        "sched_yield", "sched_setaffinity", "sched_getaffinity",
+        "futex", "nanosleep",
+        # signals
+        "rt_sigaction", "rt_sigprocmask", "rt_sigreturn", "kill", "tgkill",
+        "rt_sigpending", "rt_sigsuspend", "sigaltstack",
+        # inter-process memory mappings / PMU access (§5)
+        "process_vm_readv", "process_vm_writev", "perf_event_open",
+        # time (vDSO-backed)
+        "clock_gettime", "gettimeofday", "time",
+    }
+)
+
+#: A representative set of syscalls that are always delegated.  The real
+#: kernel delegates anything not in the local table; this set exists so
+#: tests and docs can enumerate interesting cases.
+DELEGATED_EXAMPLES: frozenset[str] = frozenset(
+    {
+        "open", "openat", "close", "read", "write", "pread64", "pwrite64",
+        "stat", "fstat", "lseek", "ioctl", "fcntl", "dup", "pipe",
+        "socket", "connect", "sendto", "recvfrom", "epoll_wait",
+        "getdents64", "mkdir", "unlink", "rename", "chdir", "getcwd",
+        "execve",
+    }
+)
+
+#: Syscalls that do not exist on either side (ancient/removed ABI).
+UNSUPPORTED: frozenset[str] = frozenset({"tuxcall", "uselib", "vserver"})
+
+
+def is_local(name: str) -> bool:
+    """Does McKernel implement ``name`` without delegation?"""
+    if name in UNSUPPORTED:
+        raise SyscallError("ENOSYS", name)
+    return name in LOCAL_SYSCALLS
+
+
+def is_delegated(name: str) -> bool:
+    """Everything not local (and not unsupported) is delegated."""
+    return not is_local(name)

@@ -1,0 +1,28 @@
+"""Interconnect models: fabrics, collectives, RDMA registration."""
+
+from .collectives import CollectiveModel
+from .fabric import OMNI_PATH, TOFU_D, FabricSpec, fabric_for
+from .mpi import Communicator
+from .rdma import (
+    PICO_FIXED_COST,
+    PIN_COST_PER_PAGE,
+    RegistrationStats,
+    pin_granularity,
+    register_many,
+    registration_time,
+)
+
+__all__ = [
+    "CollectiveModel",
+    "Communicator",
+    "pin_granularity",
+    "FabricSpec",
+    "fabric_for",
+    "TOFU_D",
+    "OMNI_PATH",
+    "RegistrationStats",
+    "register_many",
+    "registration_time",
+    "PIN_COST_PER_PAGE",
+    "PICO_FIXED_COST",
+]

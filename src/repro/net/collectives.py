@@ -1,0 +1,81 @@
+"""MPI collective cost models over a fabric.
+
+LogP-style models for the collectives the paper's applications use per
+bulk-synchronous iteration: barrier, allreduce, halo exchange.  Tree
+algorithms give the log(P) scaling that makes collective time grow with
+node count — one of the two scale-dependent terms in the application
+model (the other is noise amplification).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .fabric import FabricSpec
+
+
+@dataclass(frozen=True)
+class CollectiveModel:
+    """Collective cost calculator for one fabric and job geometry."""
+
+    fabric: FabricSpec
+    n_nodes: int
+    ranks_per_node: int
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0 or self.ranks_per_node <= 0:
+            raise ConfigurationError("geometry must be positive")
+
+    @property
+    def n_ranks(self) -> int:
+        return self.n_nodes * self.ranks_per_node
+
+    def _tree_depth(self) -> int:
+        return max(1, int(math.ceil(math.log2(max(2, self.n_ranks)))))
+
+    def barrier(self) -> float:
+        """Dissemination barrier; Tofu's hardware collectives cut the
+        per-level cost roughly in half (offloaded progression)."""
+        per_level = (
+            self.fabric.injection_overhead
+            + self.fabric.hop_latency * max(1, self.fabric.diameter_hops(self.n_nodes) // 4)
+        )
+        if self.fabric.hw_collectives:
+            per_level *= 0.5
+        return self._tree_depth() * per_level
+
+    def allreduce(self, msg_bytes: int) -> float:
+        """Rabenseifner-style allreduce: latency term like a barrier
+        plus 2x the bandwidth term for reduce-scatter + allgather."""
+        if msg_bytes < 0:
+            raise ConfigurationError("msg_bytes must be non-negative")
+        latency = self.barrier()
+        bw = 2.0 * msg_bytes / self.fabric.link_bandwidth
+        return latency + bw
+
+    def halo_exchange(self, msg_bytes: int, neighbours: int = 6) -> float:
+        """Nearest-neighbour exchange (stencil/lattice codes): messages
+        to ``neighbours`` peers, overlapping, bounded by the serialised
+        injection plus one transfer."""
+        if msg_bytes < 0 or neighbours <= 0:
+            raise ConfigurationError("invalid halo geometry")
+        inject = neighbours * self.fabric.injection_overhead
+        wire = (
+            self.fabric.hop_latency
+            + msg_bytes / self.fabric.link_bandwidth
+        )
+        return inject + wire
+
+    def cost(self, kind: str, msg_bytes: int) -> float:
+        """Dispatch by collective name used in workload profiles."""
+        if kind == "barrier":
+            return self.barrier()
+        if kind == "allreduce":
+            return self.allreduce(msg_bytes)
+        if kind == "halo":
+            return self.halo_exchange(msg_bytes)
+        if kind == "halo+allreduce":
+            return self.halo_exchange(msg_bytes) + self.allreduce(8 * 64)
+        raise ConfigurationError(f"unknown collective kind {kind!r}")

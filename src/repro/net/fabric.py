@@ -1,0 +1,98 @@
+"""Interconnect fabrics: Fujitsu TofuD and Intel Omni-Path.
+
+A :class:`FabricSpec` carries the latency/bandwidth parameters of one
+network plus its topology's hop-count scaling, from which the
+collective models (:mod:`repro.net.collectives`) derive costs.  Values
+are the published injection/link figures for the two fabrics; as with
+the rest of the simulator, the experiments depend on scaling shape, not
+on absolute silicon numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import us
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """One interconnection network."""
+
+    name: str
+    #: Nearest-neighbour one-way latency, seconds.
+    hop_latency: float
+    #: Software injection overhead per message (send + recv side).
+    injection_overhead: float
+    #: Per-link bandwidth, bytes/s.
+    link_bandwidth: float
+    #: Topology kind: "torus6d" (TofuD) or "fattree" (Omni-Path).
+    topology: str
+    #: Hardware collective offload (Tofu barrier/reduce engines).
+    hw_collectives: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hop_latency <= 0 or self.injection_overhead < 0:
+            raise ConfigurationError("latencies must be positive")
+        if self.link_bandwidth <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if self.topology not in ("torus6d", "fattree"):
+            raise ConfigurationError(f"unknown topology {self.topology!r}")
+
+    def diameter_hops(self, n_nodes: int) -> int:
+        """Worst-case hop count between two of ``n_nodes`` nodes."""
+        if n_nodes <= 0:
+            raise ConfigurationError("n_nodes must be positive")
+        if n_nodes == 1:
+            return 0
+        if self.topology == "torus6d":
+            # TofuD: 6D mesh/torus; the diameter grows with the sum of
+            # the axis radii ~ 6 * (n ** (1/6)) / 2.
+            return max(1, int(3.0 * n_nodes ** (1.0 / 6.0)))
+        # Fat tree: up/down through ~log radix-32 levels.
+        return max(1, 2 * int(math.ceil(math.log(n_nodes, 32))))
+
+    def point_to_point(self, n_nodes: int, msg_bytes: int) -> float:
+        """Average p2p latency for a message between random nodes."""
+        if msg_bytes < 0:
+            raise ConfigurationError("msg_bytes must be non-negative")
+        hops = max(1, self.diameter_hops(n_nodes) // 2)
+        return (
+            self.injection_overhead
+            + hops * self.hop_latency
+            + msg_bytes / self.link_bandwidth
+        )
+
+
+#: Fujitsu TofuD: 6D torus, ~0.5 us neighbour latency, 6.8 GB/s links,
+#: hardware barrier/reduction offload (Tofu barrier interface).
+TOFU_D = FabricSpec(
+    name="Fujitsu TofuD",
+    hop_latency=us(0.5),
+    injection_overhead=us(0.9),
+    link_bandwidth=6.8e9,
+    topology="torus6d",
+    hw_collectives=True,
+)
+
+#: Intel Omni-Path: 100 Gb/s fat tree, ~1 us MPI latency.
+OMNI_PATH = FabricSpec(
+    name="Intel OmniPath",
+    hop_latency=us(0.6),
+    injection_overhead=us(1.1),
+    link_bandwidth=12.5e9,
+    topology="fattree",
+    hw_collectives=False,
+)
+
+
+def fabric_for(interconnect: str) -> FabricSpec:
+    """Look up the fabric model by the machine's interconnect string."""
+    name = interconnect.lower()
+    if "tofu" in name:
+        return TOFU_D
+    if "omni" in name:
+        return OMNI_PATH
+    raise ConfigurationError(f"no fabric model for {interconnect!r}")

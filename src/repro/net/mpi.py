@@ -1,0 +1,114 @@
+"""An MPI-like communicator on top of the discrete-event engine.
+
+Provides the collective semantics the BSP applications use — barrier,
+allreduce, broadcast — as *yieldable* operations for DES processes, so
+node-level simulations can express real rank code:
+
+    def rank_body(comm, rank):
+        for _ in range(iterations):
+            yield engine.timeout(compute_time)
+            total = yield from comm.allreduce(rank, value)
+
+Semantics follow MPI: a collective completes for everyone only when the
+last participant arrives (which is exactly how OS noise on one rank
+delays all of them — the effect the paper measures).  Latency of the
+collective itself is priced by a :class:`~repro.net.collectives.
+CollectiveModel` when one is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from ..errors import ConfigurationError, SimulationError
+from ..sim.engine import Engine, Event
+from .collectives import CollectiveModel
+
+
+class Communicator:
+    """A fixed-size group of ranks sharing collectives."""
+
+    def __init__(self, engine: Engine, n_ranks: int,
+                 cost_model: Optional[CollectiveModel] = None) -> None:
+        if n_ranks <= 0:
+            raise ConfigurationError("n_ranks must be positive")
+        self.engine = engine
+        self.n_ranks = n_ranks
+        self.cost_model = cost_model
+        self._generation = 0
+        self._arrived = 0
+        self._values: list[Any] = []
+        self._release: Event = engine.event(name="mpi.gen0")
+        self._in_flight: set[int] = set()
+
+    # -- internals -----------------------------------------------------
+
+    def _arrive(self, rank: int, value: Any) -> Event:
+        if not 0 <= rank < self.n_ranks:
+            raise ConfigurationError(f"rank {rank} out of range")
+        if rank in self._in_flight:
+            raise SimulationError(
+                f"rank {rank} entered the collective twice in one "
+                f"generation (missing a yield?)"
+            )
+        self._in_flight.add(rank)
+        self._arrived += 1
+        self._values.append(value)
+        release = self._release
+        if self._arrived == self.n_ranks:
+            values = self._values
+            self._generation += 1
+            self._arrived = 0
+            self._values = []
+            self._in_flight = set()
+            self._release = self.engine.event(
+                name=f"mpi.gen{self._generation}")
+            release.succeed(values)
+        return release
+
+    def _wire_latency(self, msg_bytes: int, kind: str) -> float:
+        if self.cost_model is None:
+            return 0.0
+        return self.cost_model.cost(kind, msg_bytes)
+
+    # -- collectives (yield from these inside a process) ----------------------
+
+    def barrier(self, rank: int) -> Generator:
+        """Block until every rank has entered the barrier."""
+        release = self._arrive(rank, None)
+        yield release
+        latency = self._wire_latency(0, "barrier")
+        if latency:
+            yield self.engine.timeout(latency)
+        return None
+
+    def allreduce(self, rank: int, value: float,
+                  op: Callable[[list], Any] = sum,
+                  msg_bytes: int = 8) -> Generator:
+        """Combine ``value`` across ranks with ``op``; every rank
+        receives the reduced result."""
+        release = self._arrive(rank, value)
+        values = yield release
+        latency = self._wire_latency(msg_bytes, "allreduce")
+        if latency:
+            yield self.engine.timeout(latency)
+        return op(values)
+
+    def bcast(self, rank: int, value: Any = None,
+              root: int = 0, msg_bytes: int = 8) -> Generator:
+        """Broadcast root's value (modelled as a gather-then-release:
+        everyone synchronises, everyone leaves with root's value)."""
+        release = self._arrive(rank, (rank, value))
+        values = yield release
+        latency = self._wire_latency(msg_bytes, "barrier")
+        if latency:
+            yield self.engine.timeout(latency)
+        by_rank = dict(values)
+        if root not in by_rank:
+            raise SimulationError(f"root {root} did not participate")
+        return by_rank[root]
+
+    @property
+    def generation(self) -> int:
+        """Completed collective count (for tests/progress)."""
+        return self._generation

@@ -1,0 +1,189 @@
+"""Lowering an OS configuration to its noise-source catalogue.
+
+This is the bridge between the structural kernel models and the
+statistical samplers: given an :class:`~repro.kernel.base.OsInstance`,
+produce the :class:`~repro.noise.source.NoiseSource` list one of its
+*application* cores experiences.
+
+Environment-specific extras:
+
+* **OFP / THP** — with transparent huge pages, ``khugepaged``'s
+  collapse/compaction stalls hit application cores; together with the
+  unconfined daemons this produces the heavy tail the paper observed on
+  OFP (FWQ iterations up to ~24 ms against a 6.5 ms quantum, Fig. 4a).
+* **Node-level stragglers** — at full scale, rare per-node events
+  (filesystem hiccups, management-plane bursts) dominate the observed
+  maximum.  They are included as an ultra-low-duty source so that
+  pooling more nodes exposes a longer tail, which is exactly the
+  full-scale-vs-24-rack difference in Fig. 4b.
+"""
+
+from __future__ import annotations
+
+from ..kernel.base import OsInstance
+from ..kernel.linux import LinuxKernel
+from ..kernel.tuning import LargePagePolicy
+from ..sim.distributions import LogNormalCapped, Pareto
+from ..units import ms, us
+from .source import NoiseSource, Occurrence, irq_source, tick_source
+
+
+def khugepaged_source() -> NoiseSource:
+    """THP background collapse + direct-compaction stalls (OFP).
+
+    Heavy-tailed but with a fast-decaying index: typical collapse scans
+    cost tens of microseconds; direct compaction under fragmentation
+    reaches the multi-millisecond stalls that contribute to OFP's FWQ
+    tail (Fig. 4a).
+    """
+    return NoiseSource(
+        name="khugepaged",
+        interval=240.0,
+        duration=Pareto(lo=us(60.0), hi=ms(17.5), alpha=2.6),
+        occurrence=Occurrence.POISSON,
+    )
+
+
+def churn_compaction_source(churn_bytes_per_iter: int) -> NoiseSource:
+    """Direct-compaction / collapse stalls *triggered by the app's own
+    heap churn* under THP.
+
+    An application that frees and reallocates memory every iteration
+    keeps khugepaged and the compaction machinery busy; occasionally an
+    allocation takes a direct-compaction stall.  This is the
+    scale-growing half of the LULESH effect: the stall hits one rank,
+    and at a barrier everyone waits (the deterministic half — refaulting
+    the churned bytes — is priced in the runner).  Stall frequency
+    scales with churn volume.
+    """
+    if churn_bytes_per_iter <= 0:
+        raise ValueError("churn_bytes_per_iter must be positive")
+    # Calibration anchor: 16 MiB of churn per iteration produces one
+    # direct-compaction stall every ~8 s on that rank; frequency scales
+    # linearly with churn volume.
+    interval = 8.0 * (16 * 1024 * 1024) / churn_bytes_per_iter
+    return NoiseSource(
+        name="thp-churn-compaction",
+        interval=max(0.25, interval),
+        duration=Pareto(lo=us(200.0), hi=ms(17.5), alpha=2.5),
+        occurrence=Occurrence.POISSON,
+    )
+
+
+def straggler_source(scale: str = "fugaku") -> NoiseSource:
+    """Rare node-level service events (filesystem hiccups, management
+    plane).  Duty is negligible (~5e-9); only the extreme tail matters,
+    and only when pooling many node-hours: one event per ~50 node-hours
+    means the 16-node testbed (Table 2) virtually never sees one, a
+    24-rack hour sees ~180 (observed max ~5-6 ms), and the full machine
+    sees ~3,200 (observed max ~10 ms) — the Fig. 4b full-scale-vs-24-rack
+    difference.  Modelled per core: interval = 50 h x 48 cores."""
+    if scale == "ofp":
+        # OFP nodes run more unconfined services; stragglers are more
+        # frequent and longer (Fig. 4a: iterations up to ~24 ms).
+        return NoiseSource(
+            name="node-straggler",
+            interval=200.0 * 3600.0,
+            duration=LogNormalCapped(median=ms(1.6), sigma=0.95, cap=ms(17.5)),
+        )
+    # Calibrated so the pooled expected max lands at the paper's Fig. 4b
+    # values: ~3.5 ms of noise (10 ms iterations) at full scale, ~2 ms
+    # (8.5 ms) on 24 racks.
+    return NoiseSource(
+        name="node-straggler",
+        interval=50.0 * 3600.0 * 48,
+        duration=LogNormalCapped(median=ms(0.245), sigma=0.823, cap=ms(3.6)),
+    )
+
+
+def hw_contention_source(arch: str = "aarch64") -> NoiseSource:
+    """Residual hardware-sharing noise on McKernel cores.
+
+    §4.2.2 distinguishes kernel noise from delays where "the execution
+    time increases due to hardware sharing or internal contention in
+    the hardware" with no extra instructions retired.  McKernel runs no
+    background tasks, but shares silicon — and how much that costs is a
+    *hardware* property:
+
+    * **KNL (x86_64)**: 4-way SMT means the measurement thread shares
+      its physical core's pipelines; bursts up to ~0.5 ms explain why
+      the paper's OFP McKernel FWQ tail approaches (but stays under)
+      7 ms against the 6.5 ms quantum (Fig. 4a).
+    * **A64FX (aarch64)**: no SMT, sector-partitioned L2, per-CMG
+      memory — contention is an order of magnitude smaller, and
+      crucially *below* Linux's own residual (sar's 50 µs bursts), so
+      the LWK never becomes the noisier kernel at any scale.
+
+    (Linux sees the same hardware contention, but its calibrated task
+    catalogue already subsumes it — Table 2 was measured on real silicon
+    and cannot distinguish the two.)
+    """
+    if arch == "x86_64":
+        return NoiseSource(
+            name="hw-contention",
+            interval=120.0,
+            duration=LogNormalCapped(median=us(60.0), sigma=0.7,
+                                     cap=us(500.0)),
+        )
+    return NoiseSource(
+        name="hw-contention",
+        interval=300.0,
+        duration=LogNormalCapped(median=us(8.0), sigma=0.5, cap=us(40.0)),
+    )
+
+
+def noise_sources_for(
+    os_instance: OsInstance, include_stragglers: bool = True
+) -> list[NoiseSource]:
+    """The complete per-app-core noise catalogue of one OS instance.
+
+    ``include_stragglers=False`` drops the rare node-level events — used
+    by the Table 2 / Figure 3 experiments, which characterise *kernel*
+    noise on a 16-node testbed where (with ~1 event per 50 node-hours)
+    stragglers essentially never occur anyway but would randomly distort
+    a seeded short run.
+    """
+    sources: list[NoiseSource] = []
+
+    # 1. System tasks that reach application cores.
+    for task in os_instance.noise_tasks_on_app_cores():
+        sources.append(
+            NoiseSource(
+                name=task.name,
+                interval=task.interval,
+                duration=task.duration,
+                occurrence=Occurrence.POISSON,
+            )
+        )
+
+    # 2. The scheduler tick.
+    rate = os_instance.tick_rate_on_app_cores()
+    if rate > 0:
+        sources.append(tick_source(rate))
+
+    # 3. Device IRQ load (Linux only; McKernel takes no device IRQs on
+    #    LWK cores — drivers live on the Linux side).
+    if isinstance(os_instance, LinuxKernel):
+        irq_rate = os_instance.irq_rate_on_app_cores()
+        if irq_rate > 0:
+            load = os_instance.irq_load_on_app_cores()
+            sources.append(
+                irq_source(rate_hz=irq_rate, handler_cost=load / irq_rate)
+            )
+        # 4. THP housekeeping.
+        if os_instance.tuning.large_pages is LargePagePolicy.THP:
+            sources.append(khugepaged_source())
+        # 5. Node-level stragglers (any Linux environment).
+        if include_stragglers:
+            scale = "ofp" if os_instance.node.arch == "x86_64" else "fugaku"
+            sources.append(straggler_source(scale))
+    else:
+        # 6. McKernel: no kernel activity at all, only hardware sharing.
+        sources.append(hw_contention_source(os_instance.node.arch))
+
+    return sources
+
+
+def total_duty_cycle(sources: list[NoiseSource]) -> float:
+    """Aggregate fraction of core time stolen — Eq. 2's asymptote."""
+    return sum(s.duty_cycle for s in sources)

@@ -1,0 +1,45 @@
+"""Countermeasure sweeps: the configurations behind Table 2 / Figure 3.
+
+Table 2 evaluates each noise-elimination technique by disabling it
+alone against a baseline with everything enabled.  This module produces
+that configuration matrix and names the rows exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from ..kernel.tuning import Countermeasure, LinuxTuning
+
+#: Paper row label -> countermeasure whose disabling produces that row.
+TABLE2_ROWS: dict[str, Countermeasure | None] = {
+    "None": None,
+    "Daemon process": Countermeasure.DAEMON_BINDING,
+    "Unbound kworker tasks": Countermeasure.KWORKER_BINDING,
+    "blk-mq worker tasks": Countermeasure.BLKMQ_BINDING,
+    "PMU counter reads": Countermeasure.PMU_STOP,
+    "CPU-global flush instruction": Countermeasure.TLB_LOCAL_PATCH,
+}
+
+
+def countermeasure_sweep(base: LinuxTuning) -> dict[str, LinuxTuning]:
+    """Map each Table 2 row label to its tuning configuration.
+
+    ``base`` should be the fully-tuned environment
+    (:func:`repro.kernel.tuning.fugaku_production`); the "None" row is
+    ``base`` itself ("None" = no technique disabled).
+    """
+    sweep: dict[str, LinuxTuning] = {}
+    for label, cm in TABLE2_ROWS.items():
+        sweep[label] = base if cm is None else base.disable(cm)
+    return sweep
+
+
+#: Paper-reported Table 2 values, used by tests/benches to check shape:
+#: row label -> (max noise length in us, noise rate).
+TABLE2_PAPER: dict[str, tuple[float, float]] = {
+    "None": (50.44, 3.79e-6),
+    "Daemon process": (20346.98, 9.94e-4),
+    "Unbound kworker tasks": (266.34, 4.58e-6),
+    "blk-mq worker tasks": (387.91, 4.58e-6),
+    "PMU counter reads": (103.09, 8.27e-6),
+    "CPU-global flush instruction": (90.2, 3.87e-6),
+}

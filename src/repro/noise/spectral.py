@@ -1,0 +1,97 @@
+"""Spectral analysis of FTQ traces — finding *periodic* noise.
+
+The FTQ half of the LLNL benchmark exists because its fixed time base
+permits Fourier analysis: a periodic interferer (a timer tick, a
+monitoring daemon on a fixed cadence) appears as a spectral line at its
+frequency in the per-window completed-work series.  This is how OS
+developers localise tick/daemon noise without tracing; the noise-audit
+workflow uses it as a cross-check on the ftrace path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # avoid the apps <-> noise import cycle at runtime
+    from ..apps.fwq import FtqResult
+
+
+@dataclass(frozen=True)
+class SpectralPeak:
+    """One detected periodic component."""
+
+    frequency_hz: float
+    period_s: float
+    power_ratio: float  # peak power / median noise floor
+
+
+def noise_spectrum(result: FtqResult) -> tuple[np.ndarray, np.ndarray]:
+    """(frequencies, power) of the lost-work series.
+
+    Uses the mean-removed work series so the DC term doesn't mask
+    everything; frequencies run up to the Nyquist rate 1/(2*window).
+    """
+    series = result.work_units.astype(float)
+    if len(series) < 8:
+        raise ConfigurationError("need at least 8 FTQ windows")
+    detrended = series - series.mean()
+    spectrum = np.abs(np.fft.rfft(detrended)) ** 2
+    freqs = np.fft.rfftfreq(len(series), d=result.window)
+    return freqs[1:], spectrum[1:]  # drop DC
+
+
+def find_periodic_noise(
+    result: FtqResult,
+    threshold: float = 12.0,
+    max_peaks: int = 5,
+) -> list[SpectralPeak]:
+    """Detect periodic interferers as spectral lines ``threshold``x above
+    the median noise floor.
+
+    A periodic pulse train produces a harmonic comb (every multiple of
+    its rate, comparable power), so peaks are scanned *lowest frequency
+    first*: the first line above threshold is a fundamental, and its
+    harmonic comb is suppressed before looking for further interferers.
+    """
+    if threshold <= 1.0:
+        raise ConfigurationError("threshold must exceed 1.0")
+    freqs, power = noise_spectrum(result)
+    peak_power = float(power.max())
+    if peak_power <= 0.0:
+        return []  # perfectly clean trace
+    # Median off-line power; for a pure periodic signal every off-comb
+    # bin is numerically zero, so bound the floor away from 0 relative
+    # to the peak (anything 1e9x below the strongest line is floor).
+    floor = max(float(np.median(power)), peak_power * 1e-9)
+    peaks: list[SpectralPeak] = []
+    suppressed = np.zeros(len(power), dtype=bool)
+    for idx in range(len(power)):  # ascending frequency
+        if len(peaks) >= max_peaks:
+            break
+        if suppressed[idx]:
+            continue
+        ratio = power[idx] / floor
+        if ratio < threshold:
+            continue
+        # Refine to the strongest bin in the local leakage neighbourhood.
+        lo = max(0, idx - 2)
+        hi = min(len(power), idx + 3)
+        best = lo + int(np.argmax(power[lo:hi]))
+        fundamental = freqs[best]
+        peaks.append(SpectralPeak(
+            frequency_hz=float(fundamental),
+            period_s=float(1.0 / fundamental),
+            power_ratio=float(power[best] / floor),
+        ))
+        # Suppress the whole harmonic comb of this fundamental.
+        k = 1
+        while k * fundamental <= freqs[-1] + 1e-12:
+            h = int(np.argmin(np.abs(freqs - k * fundamental)))
+            suppressed[max(0, h - 2):h + 3] = True
+            k += 1
+    return peaks

@@ -1,0 +1,67 @@
+"""Runtime layer: binding, batch jobs, and the experiment runner."""
+
+from .binding import (
+    RankBinding,
+    bind_ranks,
+    numa_locality_fraction,
+    validate_disjoint,
+)
+from .job import (
+    BatchSystem,
+    ContainerSpec,
+    Job,
+    OsChoice,
+    ProvisionedJob,
+)
+from .colocation import (
+    ColocationResult,
+    IsolationMode,
+    TenantLoad,
+    run_colocation,
+)
+from .delegationsim import (
+    DelegationLoadResult,
+    capacity_hz,
+    saturation_sweep,
+    simulate_delegation,
+)
+from .linuxsim import NodeSimResult, SimCore, simulate_linux_node_fwq
+from .nodesim import (
+    BspSimResult,
+    NoisyCore,
+    simulate_bsp,
+    validate_against_sampler,
+)
+from .runner import AppRunner, Breakdown, Comparison, RunResult, compare
+
+__all__ = [
+    "ColocationResult",
+    "IsolationMode",
+    "TenantLoad",
+    "run_colocation",
+    "DelegationLoadResult",
+    "capacity_hz",
+    "saturation_sweep",
+    "simulate_delegation",
+    "NodeSimResult",
+    "SimCore",
+    "simulate_linux_node_fwq",
+    "BspSimResult",
+    "NoisyCore",
+    "simulate_bsp",
+    "validate_against_sampler",
+    "RankBinding",
+    "bind_ranks",
+    "numa_locality_fraction",
+    "validate_disjoint",
+    "BatchSystem",
+    "ContainerSpec",
+    "Job",
+    "OsChoice",
+    "ProvisionedJob",
+    "AppRunner",
+    "Breakdown",
+    "Comparison",
+    "RunResult",
+    "compare",
+]

@@ -1,0 +1,186 @@
+"""Batch job scheduling: the TCS job-operation layer over the DES.
+
+Both machines run their comparisons through a batch system (§6.4: "we
+run the measurements through the batch job system"), and the OS choice
+has an *operational* cost the paper notes in §5.1: on OFP "booting
+IHK/McKernel entails nothing more than calling a few privileged mode
+scripts in the prologue and epilogue of a particular job" — i.e. every
+McKernel job pays a per-job boot in its prologue that Linux jobs do
+not.  This module implements a FIFO + EASY-backfill scheduler so that
+cost (and queueing in general) can be studied:
+
+* jobs declare node count and a user runtime estimate;
+* the head of the queue never starves (EASY: a reservation is computed
+  for it from running jobs' estimates);
+* later jobs may backfill into idle nodes if they cannot delay the
+  reservation;
+* McKernel jobs add prologue/epilogue time around their payload.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..sim.engine import Engine, Event
+from .job import OsChoice
+
+#: Per-job LWK boot/teardown in the batch prologue/epilogue, seconds.
+MCKERNEL_PROLOGUE = 45.0
+MCKERNEL_EPILOGUE = 15.0
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+
+
+@dataclass
+class BatchJob:
+    """One submission tracked by the scheduler."""
+
+    name: str
+    n_nodes: int
+    runtime: float            # actual payload runtime
+    estimate: float           # user's estimate (>= runtime not required)
+    os_choice: OsChoice = OsChoice.LINUX
+    submit_time: float = 0.0
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    state: JobState = JobState.QUEUED
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ConfigurationError("n_nodes must be positive")
+        if self.runtime <= 0 or self.estimate <= 0:
+            raise ConfigurationError("runtimes must be positive")
+
+    @property
+    def overhead(self) -> float:
+        """Prologue + epilogue around the payload."""
+        if self.os_choice is OsChoice.MCKERNEL:
+            return MCKERNEL_PROLOGUE + MCKERNEL_EPILOGUE
+        return 0.0
+
+    @property
+    def wall_occupancy(self) -> float:
+        return self.runtime + self.overhead
+
+    @property
+    def estimated_occupancy(self) -> float:
+        return self.estimate + self.overhead
+
+    @property
+    def wait_time(self) -> float:
+        if self.start_time is None:
+            raise ConfigurationError(f"job {self.name} has not started")
+        return self.start_time - self.submit_time
+
+
+class BatchScheduler:
+    """FIFO + EASY backfill over one machine's node pool."""
+
+    def __init__(self, engine: Engine, total_nodes: int) -> None:
+        if total_nodes <= 0:
+            raise ConfigurationError("total_nodes must be positive")
+        self.engine = engine
+        self.total_nodes = total_nodes
+        self.free_nodes = total_nodes
+        self.queue: list[BatchJob] = []
+        self.running: list[BatchJob] = []
+        self.finished: list[BatchJob] = []
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, job: BatchJob) -> BatchJob:
+        if job.n_nodes > self.total_nodes:
+            raise ConfigurationError(
+                f"job {job.name} wants {job.n_nodes} nodes, machine has "
+                f"{self.total_nodes}"
+            )
+        job.submit_time = self.engine.now
+        self.queue.append(job)
+        self._schedule()
+        return job
+
+    # -- internals -------------------------------------------------------------
+
+    def _start(self, job: BatchJob) -> None:
+        self.queue.remove(job)
+        self.free_nodes -= job.n_nodes
+        job.state = JobState.RUNNING
+        job.start_time = self.engine.now
+        self.running.append(job)
+
+        def run():
+            yield self.engine.timeout(job.wall_occupancy)
+            job.state = JobState.DONE
+            job.end_time = self.engine.now
+            self.running.remove(job)
+            self.finished.append(job)
+            self.free_nodes += job.n_nodes
+            self._schedule()
+
+        self.engine.process(run(), name=f"job/{job.name}")
+
+    def _head_reservation(self) -> tuple[float, int]:
+        """(shadow_time, spare_nodes) for the EASY reservation of the
+        queue head: the earliest time enough nodes free up (by running
+        jobs' estimates), and the nodes idle even then."""
+        head = self.queue[0]
+        if head.n_nodes <= self.free_nodes:
+            return self.engine.now, self.free_nodes - head.n_nodes
+        # Sort running jobs by estimated completion.
+        events = sorted(
+            (r.start_time + r.estimated_occupancy, r.n_nodes)
+            for r in self.running
+        )
+        free = self.free_nodes
+        for end_at, nodes in events:
+            free += nodes
+            if free >= head.n_nodes:
+                return end_at, free - head.n_nodes
+        raise ConfigurationError(
+            "reservation impossible: not enough nodes even when idle"
+        )
+
+    def _schedule(self) -> None:
+        # Start queue heads FIFO while they fit.
+        while self.queue and self.queue[0].n_nodes <= self.free_nodes:
+            self._start(self.queue[0])
+        if not self.queue:
+            return
+        # EASY backfill behind the blocked head.
+        shadow_time, spare = self._head_reservation()
+        for job in list(self.queue[1:]):
+            if job.n_nodes > self.free_nodes:
+                continue
+            ends_by = self.engine.now + job.estimated_occupancy
+            fits_before_shadow = ends_by <= shadow_time
+            fits_in_spare = job.n_nodes <= spare
+            if fits_before_shadow or fits_in_spare:
+                if fits_in_spare and not fits_before_shadow:
+                    spare -= job.n_nodes
+                self._start(job)
+
+    # -- metrics ------------------------------------------------------------------
+
+    def utilization(self, horizon: float) -> float:
+        """Node-seconds used / offered over [0, horizon]."""
+        if horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+        used = 0.0
+        for job in self.finished + self.running:
+            start = job.start_time or 0.0
+            end = job.end_time if job.end_time is not None else horizon
+            used += max(0.0, min(end, horizon) - start) * job.n_nodes
+        return used / (self.total_nodes * horizon)
+
+    def mean_wait(self) -> float:
+        done = [j for j in self.finished if j.start_time is not None]
+        if not done:
+            return 0.0
+        return sum(j.wait_time for j in done) / len(done)

@@ -1,0 +1,112 @@
+"""NUMA-aware process and thread binding (§4.1.4).
+
+"Fugaku's job scheduler automatically binds MPI processes to specific
+NUMA domains depending on the number of ranks per node" — with one rank
+per CMG for the canonical 4-rank geometry.  This module computes those
+placements for any geometry and validates them against the cgroup
+cpuset, mirroring what the TCS runtime / Intel MPI's
+I_MPI_PIN_PROCESSOR_EXCLUDE_LIST accomplish on the two machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..hardware.machines import NodeSpec
+
+
+@dataclass(frozen=True)
+class RankBinding:
+    """Placement of one MPI rank on a node."""
+
+    rank: int
+    cpu_ids: tuple[int, ...]
+    numa_group: int
+
+    def __post_init__(self) -> None:
+        if not self.cpu_ids:
+            raise ConfigurationError("a rank needs at least one CPU")
+
+
+def bind_ranks(
+    node: NodeSpec,
+    ranks_per_node: int,
+    threads_per_rank: int,
+    allowed_cpus: list[int] | None = None,
+) -> list[RankBinding]:
+    """Compute the default NUMA-aware binding for one node.
+
+    Ranks are distributed round-robin over core groups (CMGs /
+    quadrants) and each receives ``threads_per_rank`` consecutive
+    logical CPUs from its group, preferring distinct physical cores
+    (SMT siblings are used only once a group's cores are exhausted, as
+    both runtimes do).
+    """
+    if ranks_per_node <= 0 or threads_per_rank <= 0:
+        raise ConfigurationError("geometry must be positive")
+    topo = node.topology
+    allowed = (
+        set(allowed_cpus) if allowed_cpus is not None
+        else set(topo.application_cpu_ids())
+    )
+    n_groups = topo.n_groups
+    # Per-group CPU pools ordered cores-first (SMT index 0 first).
+    pools: list[list[int]] = []
+    for g in range(n_groups):
+        cpus = [c for c in topo.group_cpu_ids(g) if c in allowed]
+        cpus.sort(key=lambda cid: (topo.cpu(cid).smt_index,
+                                   topo.cpu(cid).core_id))
+        pools.append(cpus)
+
+    demand = ranks_per_node * threads_per_rank
+    capacity = sum(len(p) for p in pools)
+    if demand > capacity:
+        raise ConfigurationError(
+            f"binding needs {demand} CPUs, only {capacity} allowed"
+        )
+
+    bindings: list[RankBinding] = []
+    for rank in range(ranks_per_node):
+        group = rank % n_groups
+        # Walk groups round-robin until one has room.
+        for probe in range(n_groups):
+            g = (group + probe) % n_groups
+            if len(pools[g]) >= threads_per_rank:
+                group = g
+                break
+        else:
+            raise ConfigurationError(
+                f"no NUMA group has {threads_per_rank} free CPUs for "
+                f"rank {rank} (fragmented allowance)"
+            )
+        cpus = tuple(pools[group][:threads_per_rank])
+        pools[group] = pools[group][threads_per_rank:]
+        bindings.append(RankBinding(rank=rank, cpu_ids=cpus, numa_group=group))
+    return bindings
+
+
+def validate_disjoint(bindings: list[RankBinding]) -> None:
+    """Raise if any CPU is shared between ranks (binding bug)."""
+    seen: set[int] = set()
+    for b in bindings:
+        overlap = seen & set(b.cpu_ids)
+        if overlap:
+            raise ConfigurationError(
+                f"rank {b.rank} shares CPUs {sorted(overlap)}"
+            )
+        seen |= set(b.cpu_ids)
+
+
+def numa_locality_fraction(bindings: list[RankBinding],
+                           node: NodeSpec) -> float:
+    """Fraction of rank threads whose CPUs are local to the rank's NUMA
+    group — 1.0 for the default binding; drops if a rank spills."""
+    total = 0
+    local = 0
+    for b in bindings:
+        for cid in b.cpu_ids:
+            total += 1
+            if node.topology.cpu(cid).group_id == b.numa_group:
+                local += 1
+    return local / total if total else 1.0

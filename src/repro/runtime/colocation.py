@@ -1,0 +1,215 @@
+"""Performance isolation under workload co-location.
+
+§8 (and [18, 37]) motivates multi-kernels for exactly this: "multi-kernel
+systems provide excellent performance isolation which could play an
+important role in multi-tenant deployments".  This module implements the
+co-location experiment the paper leaves as future work:
+
+* a latency-critical **primary** BSP workload shares a node with a noisy
+  **secondary** tenant (analytics/ML-style: bursty CPU, heavy page-cache
+  and block I/O activity);
+* under **Linux + cgroups**, the tenant is confined by cpusets, but the
+  kernel-mediated channels remain: extra kworker/blk-mq activity spills
+  onto the primary's cores, shared-LLC pollution (no sector cache
+  between two *application* cgroups), and — on unpatched A64FX — TLBI
+  broadcasts from the tenant's memory churn;
+* under **IHK/McKernel partitioning**, the primary runs on its own LWK
+  core/memory slice; only hardware sharing (bandwidth) remains.
+
+Outputs the interference slowdown of the primary workload under each
+isolation mode — the quantity a multi-tenant operator cares about.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..hardware.machines import NodeSpec
+from ..hardware.tlb import TlbFlushMode, TlbModel
+from ..kernel.tuning import LinuxTuning
+from ..noise.sampler import BarrierDelaySampler
+from ..noise.source import NoiseSource, Occurrence
+from ..sim.distributions import TruncatedExponential, Uniform
+from ..units import us
+
+
+class IsolationMode(enum.Enum):
+    """How the node is split between the two tenants."""
+
+    NONE = "none"              # both share everything (worst case)
+    CGROUPS = "cgroups"        # Linux cpuset/memcg confinement
+    MULTIKERNEL = "multikernel"  # primary on McKernel via IHK partition
+
+
+@dataclass(frozen=True)
+class TenantLoad:
+    """Intensity of the secondary (noisy) tenant."""
+
+    #: CPU burst duty cycle it would impose on shared cores (0..1).
+    cpu_duty: float = 0.10
+    #: Block I/O completions per second (drives kworker/blk-mq spill).
+    io_rate_hz: float = 400.0
+    #: Anonymous memory churned per second (drives TLBI storms), bytes/s.
+    churn_bytes_per_s: float = 256 * 1024 * 1024
+    #: Fraction of LLC fills attributable to the tenant when sharing.
+    llc_share: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cpu_duty < 1.0:
+            raise ConfigurationError("cpu_duty must be in [0, 1)")
+        if self.io_rate_hz < 0 or self.churn_bytes_per_s < 0:
+            raise ConfigurationError("rates must be non-negative")
+        if not 0.0 <= self.llc_share <= 1.0:
+            raise ConfigurationError("llc_share must be in [0, 1]")
+
+
+def interference_sources(
+    node: NodeSpec,
+    tenant: TenantLoad,
+    mode: IsolationMode,
+    tuning: LinuxTuning,
+) -> list[NoiseSource]:
+    """Noise sources the *primary's* cores see because of the tenant."""
+    sources: list[NoiseSource] = []
+    if mode is IsolationMode.NONE:
+        # Tenant threads time-share the primary's cores outright.
+        burst = 4e-3  # CFS-scale scheduling slices
+        interval = burst / max(tenant.cpu_duty, 1e-9)
+        sources.append(
+            NoiseSource(
+                name="tenant-cpu",
+                interval=interval,
+                duration=TruncatedExponential(scale=burst, cap=24e-3),
+            )
+        )
+    if mode in (IsolationMode.NONE, IsolationMode.CGROUPS):
+        # Kernel-mediated spill: I/O completion work lands on whichever
+        # core the request was issued from unless blk-mq masks are
+        # patched — tenants issue from their own cores, but softirq and
+        # writeback still touch the primary's (§4.2.1 mechanics).
+        spill_rate = tenant.io_rate_hz * (
+            0.25 if mode is IsolationMode.CGROUPS else 1.0
+        )
+        if spill_rate > 0:
+            sources.append(
+                NoiseSource(
+                    name="tenant-io-spill",
+                    interval=1.0 / spill_rate,
+                    duration=TruncatedExponential(scale=us(8.0), cap=us(388)),
+                )
+            )
+        # TLBI broadcast from tenant memory churn (A64FX, unpatched —
+        # and the patch does NOT help here: the tenant is multi-threaded).
+        tlb = TlbModel(node.tlb, tuning.tlb_flush_mode)
+        base = 64 * 1024 if node.arch == "aarch64" else 4096
+        flushes_per_s = tenant.churn_bytes_per_s / base
+        storm = 512  # flushes per munmap batch
+        victim = tlb.victim_delay(storm, threads_on_one_core=False)
+        if victim > 0 and flushes_per_s > 0:
+            sources.append(
+                NoiseSource(
+                    name="tenant-tlbi",
+                    interval=storm / flushes_per_s,
+                    duration=Uniform(lo=victim * 0.5, hi=victim),
+                )
+            )
+    # MULTIKERNEL: no kernel-mediated channels at all — the LWK slice
+    # shares only hardware (handled as a bandwidth factor below).
+    return sources
+
+
+def llc_slowdown_factor(node: NodeSpec, tenant: TenantLoad,
+                        mode: IsolationMode,
+                        memory_stall_fraction: float = 0.3) -> float:
+    """Multiplier on the primary's compute time from cache sharing."""
+    if mode is IsolationMode.MULTIKERNEL:
+        # Separate CMGs/memory partitions: only interconnect-level
+        # bandwidth sharing remains, negligible for CMG-local traffic.
+        return 1.0
+    from ..hardware.cache import SectorCache
+
+    cache = SectorCache(node.l2, system_ways=0)  # tenants share ways
+    pollution = cache.pollution_factor(tenant.llc_share)
+    return 1.0 + memory_stall_fraction * (pollution - 1.0)
+
+
+def bandwidth_slowdown_factor(
+    node: NodeSpec,
+    tenant: TenantLoad,
+    mode: IsolationMode,
+    primary_demand_per_core: float = 1.28e9,
+    memory_stall_fraction: float = 0.3,
+) -> float:
+    """Multiplier from memory-bandwidth sharing (§4.2.2's channel).
+
+    The tenant's streaming demand lands on the primary's NUMA domain(s)
+    unless the memory partition separates them: IHK's reservation (and
+    virtual NUMA under cgroups with mem binding) give the tenant its own
+    domain, so only the unpartitioned modes contend.
+    """
+    from ..hardware.membw import BandwidthModel
+
+    if mode is not IsolationMode.NONE:
+        # cgroup mem binding / IHK memory reservation keep the tenant's
+        # traffic on its own domain.
+        return 1.0
+    model = BandwidthModel(node.numa)
+    domain = node.numa.domains[0]
+    cores = node.topology.cores_per_group
+    for c in range(cores):
+        model.register(f"primary{c}", domain.node_id,
+                       primary_demand_per_core)
+    # The tenant streams aggressively on the same domain (page cache,
+    # shuffle buffers): model as 4 cores' worth of demand times duty.
+    model.register("tenant", domain.node_id,
+                   4 * 12.8e9 * max(tenant.cpu_duty, 0.0) * 10)
+    stall = model.slowdown(domain.node_id)
+    return 1.0 + memory_stall_fraction * (stall - 1.0)
+
+
+@dataclass(frozen=True)
+class ColocationResult:
+    """Primary-workload impact under one isolation mode."""
+
+    mode: IsolationMode
+    noise_slowdown: float      # from barrier-amplified interference
+    cache_slowdown: float      # from LLC sharing
+    bandwidth_slowdown: float = 1.0  # from memory-bandwidth sharing
+
+    @property
+    def total_slowdown(self) -> float:
+        return ((1.0 + self.noise_slowdown) * self.cache_slowdown
+                * self.bandwidth_slowdown - 1.0)
+
+
+def run_colocation(
+    node: NodeSpec,
+    tuning: LinuxTuning,
+    tenant: TenantLoad,
+    sync_interval: float,
+    n_threads: int,
+    rng: np.random.Generator,
+    n_intervals: int = 400,
+) -> dict[IsolationMode, ColocationResult]:
+    """Evaluate the primary's slowdown under all three isolation modes."""
+    if sync_interval <= 0 or n_threads <= 0:
+        raise ConfigurationError("sync_interval and n_threads must be > 0")
+    out: dict[IsolationMode, ColocationResult] = {}
+    for mode in IsolationMode:
+        sources = interference_sources(node, tenant, mode, tuning)
+        if sources:
+            sampler = BarrierDelaySampler(sources, sync_interval, n_threads)
+            noise = float(sampler.sample(n_intervals, rng).mean()) / sync_interval
+        else:
+            noise = 0.0
+        out[mode] = ColocationResult(
+            mode=mode,
+            noise_slowdown=noise,
+            cache_slowdown=llc_slowdown_factor(node, tenant, mode),
+            bandwidth_slowdown=bandwidth_slowdown_factor(node, tenant, mode),
+        )
+    return out

@@ -1,0 +1,124 @@
+"""Syscall-delegation throughput: the multi-kernel's structural limit.
+
+McKernel offloads non-performance-critical syscalls to Linux (§5) — but
+Linux only runs on the 2-4 assistant cores, so delegation throughput is
+bounded by how fast those cores can service proxy work.  48 application
+cores hammering ``write()`` share 2 servers; queueing delay explodes as
+offered load approaches capacity.  This is why the design keeps
+*performance-sensitive* calls local and why the PicoDriver exists for
+the hot device path: the architecture is safe exactly as long as apps
+delegate rarely.
+
+The simulation runs N LWK client processes issuing delegated syscalls
+as Poisson streams; each call takes the IKC round trip plus Linux-side
+service time on one of ``n_servers`` assistant cores (a
+:class:`~repro.sim.engine.Resource`).  Output: latency distribution and
+server utilisation vs offered load — the saturation curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..sim.engine import Engine
+from ..units import us
+
+
+@dataclass(frozen=True)
+class DelegationLoadResult:
+    """Measured behaviour at one offered load."""
+
+    offered_rate_hz: float      # delegated calls/s across all clients
+    completed: int
+    latencies: np.ndarray       # per-call completion latency, seconds
+    server_utilisation: float   # busy fraction of the assistant cores
+
+    @property
+    def mean_latency(self) -> float:
+        return float(self.latencies.mean())
+
+    @property
+    def p99_latency(self) -> float:
+        return float(np.quantile(self.latencies, 0.99))
+
+
+def simulate_delegation(
+    n_clients: int = 48,
+    n_servers: int = 2,
+    calls_per_second_per_client: float = 100.0,
+    service_time: float = us(4.0),
+    ikc_round_trip: float = us(2.6),
+    duration: float = 2.0,
+    seed: int = 0,
+) -> DelegationLoadResult:
+    """Run the delegation queueing system for ``duration`` seconds."""
+    if n_clients <= 0 or n_servers <= 0:
+        raise ConfigurationError("clients and servers must be positive")
+    if calls_per_second_per_client <= 0 or duration <= 0:
+        raise ConfigurationError("rates and duration must be positive")
+    if service_time <= 0 or ikc_round_trip < 0:
+        raise ConfigurationError("invalid timing parameters")
+    engine = Engine()
+    servers = engine.resource(capacity=n_servers, name="assistant-cores")
+    rng = np.random.default_rng(seed)
+    latencies: list[float] = []
+    busy = [0.0]
+
+    def client(idx: int, crng: np.random.Generator):
+        while engine.now < duration:
+            yield engine.timeout(
+                float(crng.exponential(1.0 / calls_per_second_per_client)))
+            if engine.now >= duration:
+                return
+            issued = engine.now
+            # Request crosses IKC, queues for an assistant core, is
+            # serviced, and the response crosses back.
+            yield engine.timeout(ikc_round_trip / 2)
+            yield servers.acquire()
+            yield engine.timeout(service_time)
+            servers.release()
+            busy[0] += service_time
+            yield engine.timeout(ikc_round_trip / 2)
+            latencies.append(engine.now - issued)
+
+    for i in range(n_clients):
+        engine.process(client(i, np.random.default_rng([seed, i])),
+                       name=f"client{i}")
+    engine.run()
+    if not latencies:
+        raise ConfigurationError("no calls completed; extend the duration")
+    return DelegationLoadResult(
+        offered_rate_hz=n_clients * calls_per_second_per_client,
+        completed=len(latencies),
+        latencies=np.array(latencies),
+        server_utilisation=busy[0] / (n_servers * duration),
+    )
+
+
+def saturation_sweep(
+    rates_per_client: list[float],
+    n_clients: int = 48,
+    n_servers: int = 2,
+    service_time: float = us(4.0),
+    duration: float = 2.0,
+    seed: int = 0,
+) -> list[DelegationLoadResult]:
+    """The saturation curve: latency vs offered delegation load."""
+    return [
+        simulate_delegation(
+            n_clients=n_clients, n_servers=n_servers,
+            calls_per_second_per_client=rate,
+            service_time=service_time, duration=duration, seed=seed,
+        )
+        for rate in rates_per_client
+    ]
+
+
+def capacity_hz(n_servers: int, service_time: float) -> float:
+    """Theoretical delegation capacity of the assistant cores."""
+    if n_servers <= 0 or service_time <= 0:
+        raise ConfigurationError("invalid capacity parameters")
+    return n_servers / service_time

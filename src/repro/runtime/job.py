@@ -1,0 +1,130 @@
+"""Batch job model: containers, mcexec, and OS provisioning per job.
+
+On Fugaku "all applications run in Docker containers" (§4.1.1) and
+IHK/McKernel is integrated with the proprietary batch system; on OFP
+"booting IHK/McKernel entails nothing more than calling a few
+privileged mode scripts in the prologue and epilogue of a particular
+job" (§5.1).  This module reproduces that lifecycle: a :class:`Job`
+describes what the user submits; :class:`BatchSystem.provision` boots
+the requested OS personality on each node design, wires the container
+cgroups, and returns a handle the experiment runner consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..hardware.machines import Machine
+from ..kernel.base import OsInstance
+from ..kernel.linux import LinuxKernel
+from ..kernel.tuning import LinuxTuning, fugaku_production, ofp_default
+from ..mckernel.lwk import McKernelInstance, boot_mckernel
+
+
+class OsChoice(enum.Enum):
+    """Which kernel personality a job requests."""
+
+    LINUX = "linux"
+    MCKERNEL = "mckernel"
+
+
+@dataclass(frozen=True)
+class ContainerSpec:
+    """Docker image configuration (§4.1.1): admin image or host mode."""
+
+    image: str = "host"
+    #: Host mode gives direct access to the host root filesystem.
+    host_rootfs: bool = True
+
+
+@dataclass(frozen=True)
+class Job:
+    """One batch submission."""
+
+    name: str
+    n_nodes: int
+    os_choice: OsChoice
+    container: ContainerSpec = field(default_factory=ContainerSpec)
+    #: Per-job switch the §4.2.1 PMU fix introduced: "a command that
+    #: allows users to stop the automatic reading of PMU counters on a
+    #: per-job basis".
+    stop_pmu_reads: bool = True
+    #: Job environment.  §4.1.3: "The allocation scheme (i.e.,
+    #: pre-allocation based or demand paging) can be controlled by
+    #: specific environment variables" — honoured keys:
+    #: ``XOS_MMM_L_PAGING_POLICY`` = "prepage" | "demand" (default).
+    env: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ConfigurationError("n_nodes must be positive")
+        policy = self.env.get("XOS_MMM_L_PAGING_POLICY", "demand")
+        if policy not in ("prepage", "demand"):
+            raise ConfigurationError(
+                f"XOS_MMM_L_PAGING_POLICY must be 'prepage' or 'demand', "
+                f"got {policy!r}"
+            )
+
+    @property
+    def prefault(self) -> bool:
+        """Pre-allocation-based scheme requested?"""
+        return self.env.get("XOS_MMM_L_PAGING_POLICY", "demand") == "prepage"
+
+
+@dataclass
+class ProvisionedJob:
+    """A job with its per-node OS personality booted."""
+
+    job: Job
+    machine: Machine
+    os_instance: OsInstance
+
+    @property
+    def prologue_epilogue_used(self) -> bool:
+        """McKernel jobs boot the LWK in the prologue (§5.1)."""
+        return self.job.os_choice is OsChoice.MCKERNEL
+
+
+class BatchSystem:
+    """Minimal scheduler front-end for one machine."""
+
+    def __init__(self, machine: Machine,
+                 linux_tuning: Optional[LinuxTuning] = None) -> None:
+        self.machine = machine
+        if linux_tuning is None:
+            linux_tuning = (
+                fugaku_production()
+                if machine.node.arch == "aarch64"
+                else ofp_default()
+            )
+        self.linux_tuning = linux_tuning
+
+    def provision(self, job: Job) -> ProvisionedJob:
+        """Boot the requested personality (per-node design; nodes are
+        identical so one instance stands for all)."""
+        if job.n_nodes > self.machine.n_nodes:
+            raise ConfigurationError(
+                f"job wants {job.n_nodes} nodes, machine has "
+                f"{self.machine.n_nodes}"
+            )
+        if job.os_choice is OsChoice.LINUX:
+            tuning = self.linux_tuning
+            if not job.stop_pmu_reads and tuning.stop_pmu_reads:
+                # The user kept TCS PMU collection on for this job.
+                from dataclasses import replace
+
+                tuning = replace(tuning, stop_pmu_reads=False,
+                                 name=f"{tuning.name}-pmu-on")
+            os_instance: OsInstance = LinuxKernel(
+                self.machine.node, tuning,
+                interconnect=self.machine.interconnect,
+            )
+        else:
+            os_instance = boot_mckernel(
+                self.machine.node, host_tuning=self.linux_tuning
+            )
+        return ProvisionedJob(job=job, machine=self.machine,
+                              os_instance=os_instance)

@@ -1,0 +1,170 @@
+"""Discrete-event simulation of a bulk-synchronous job under noise.
+
+This is the *independent validation path* for the statistical model:
+instead of computing barrier delays from order statistics
+(:class:`~repro.noise.sampler.BarrierDelaySampler`), it actually runs
+rank processes on the DES engine — each thread executes compute quanta
+on a core whose noise timeline steals CPU, and ranks meet at an MPI
+barrier.  The max-over-threads amplification *emerges* from the
+simulation rather than being assumed, so agreement between the two
+paths (asserted in tests and demonstrated in the validation experiment)
+is evidence the closed-form model is right.
+
+Scale limits: the DES walks every (thread x iteration) pair, so it is
+meant for node counts up to O(10^2) threads — the statistical samplers
+take over beyond that, which is exactly the division of labour DESIGN.md
+describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..net.mpi import Communicator
+from ..noise.source import NoiseSource
+from ..sim.engine import Engine
+
+
+class NoisyCore:
+    """One CPU core with a pre-drawn noise timeline.
+
+    :meth:`work_duration` converts a requested amount of CPU work into
+    the wall-clock time it takes starting at ``t``, charging every noise
+    event that lands in the window (events preempt the thread; their
+    duration extends the window, possibly into further events).
+    """
+
+    def __init__(self, sources: Sequence[NoiseSource], horizon: float,
+                 rng: np.random.Generator) -> None:
+        starts: list[np.ndarray] = []
+        durs: list[np.ndarray] = []
+        for src in sources:
+            s, d = src.sample_events(horizon, rng)
+            starts.append(s)
+            durs.append(d)
+        if starts:
+            all_starts = np.concatenate(starts)
+            order = np.argsort(all_starts)
+            self._starts = all_starts[order]
+            self._durs = np.concatenate(durs)[order]
+        else:
+            self._starts = np.empty(0)
+            self._durs = np.empty(0)
+        self.stolen_total = float(self._durs.sum())
+        self._cursor = 0  # monotone consumption (threads move forward)
+
+    def work_duration(self, t: float, work: float) -> float:
+        """Wall time to complete ``work`` seconds of compute from ``t``."""
+        if work < 0:
+            raise ConfigurationError("work must be non-negative")
+        # Rewind is illegal: callers advance monotonically per core.
+        while (self._cursor < len(self._starts)
+               and self._starts[self._cursor] < t):
+            self._cursor += 1
+        wall_end = t + work
+        i = self._cursor
+        while i < len(self._starts) and self._starts[i] < wall_end:
+            wall_end += self._durs[i]
+            i += 1
+        self._cursor = i
+        return wall_end - t
+
+
+@dataclass
+class BspSimResult:
+    """Outcome of one DES BSP run."""
+
+    n_threads: int
+    n_iterations: int
+    sync_interval: float
+    total_time: float
+    #: Wall time of each sync interval (max over threads + barrier).
+    interval_times: np.ndarray
+
+    @property
+    def ideal_time(self) -> float:
+        return self.n_iterations * self.sync_interval
+
+    @property
+    def slowdown(self) -> float:
+        """Relative time lost vs the noise-free run."""
+        return self.total_time / self.ideal_time - 1.0
+
+    @property
+    def mean_interval_delay(self) -> float:
+        return float(self.interval_times.mean() - self.sync_interval)
+
+
+def simulate_bsp(
+    sources: Sequence[NoiseSource],
+    sync_interval: float,
+    n_iterations: int,
+    n_threads: int,
+    rng: np.random.Generator,
+    jitter_starts: bool = False,
+) -> BspSimResult:
+    """Run an N-thread BSP section on the DES engine.
+
+    Every thread gets its own :class:`NoisyCore` (threads are pinned,
+    as on both machines).  Each iteration: compute ``sync_interval``
+    seconds of work on the noisy core, then meet at the barrier.
+    """
+    if sync_interval <= 0 or n_iterations <= 0 or n_threads <= 0:
+        raise ConfigurationError("BSP parameters must be positive")
+    engine = Engine()
+    comm = Communicator(engine, n_threads)
+    horizon = 4.0 * n_iterations * sync_interval + 1.0
+    cores = [NoisyCore(sources, horizon, rng) for _ in range(n_threads)]
+    barrier_times = np.zeros(n_iterations)
+
+    def thread(rank: int):
+        core = cores[rank]
+        for it in range(n_iterations):
+            if jitter_starts and it == 0:
+                yield engine.timeout(float(rng.uniform(0, sync_interval)))
+            duration = core.work_duration(engine.now, sync_interval)
+            yield engine.timeout(duration)
+            yield from comm.barrier(rank)
+            if rank == 0:
+                barrier_times[it] = engine.now
+
+    for r in range(n_threads):
+        engine.process(thread(r), name=f"rank{r}")
+    engine.run()
+
+    interval_times = np.diff(np.concatenate([[0.0], barrier_times]))
+    return BspSimResult(
+        n_threads=n_threads,
+        n_iterations=n_iterations,
+        sync_interval=sync_interval,
+        total_time=float(barrier_times[-1]),
+        interval_times=interval_times,
+    )
+
+
+def validate_against_sampler(
+    sources: Sequence[NoiseSource],
+    sync_interval: float,
+    n_threads: int,
+    n_iterations: int,
+    seed: int = 0,
+) -> dict:
+    """Run both paths — DES simulation and the order-statistic sampler —
+    and report their per-interval delays side by side."""
+    from ..noise.sampler import BarrierDelaySampler
+
+    des = simulate_bsp(sources, sync_interval, n_iterations, n_threads,
+                       np.random.default_rng([seed, 1]))
+    sampler = BarrierDelaySampler(sources, sync_interval, n_threads)
+    analytic = sampler.sample(n_iterations,
+                              np.random.default_rng([seed, 2]))
+    return {
+        "des_mean_delay": des.mean_interval_delay,
+        "sampler_mean_delay": float(analytic.mean()),
+        "des_slowdown": des.slowdown,
+        "sampler_slowdown": float(analytic.mean()) / sync_interval,
+    }

@@ -1,0 +1,330 @@
+"""The experiment engine: run a workload profile on (machine, OS).
+
+This module composes every substrate into seconds, mirroring how the
+paper's numbers arise:
+
+  total = init + steps * iterations * (S + TLB + churn + collective + noise)
+
+* ``S`` — the profile's per-thread compute per sync interval;
+* ``TLB`` — translation overhead of the working set under the OS's page
+  size (Table 1's TLB-reach difference), scaled by the sector-cache
+  pollution factor;
+* ``churn`` — Linux re-faults freed-and-reallocated heap every
+  iteration (glibc returns memory to the kernel; under THP the refault
+  is at base-page granularity) plus the munmap TLB shootdown, while
+  McKernel's LWK heap retains memory — the LULESH mechanism (§6.4);
+* ``collective`` — fabric model, grows ~log(ranks);
+* ``noise`` — per-sync-interval barrier delay: max over all N threads
+  of the per-thread noise, the Eq. 1 amplification that makes the LWK
+  advantage grow with scale;
+* ``init`` — working-set population, I/O syscalls (delegated under
+  McKernel) and RDMA registration (PicoDriver vs pinned ioctl — the
+  GAMERA mechanism, §5.1/§6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..apps.base import WorkloadProfile
+from ..hardware.machines import Machine
+from ..hardware.tlb import TlbModel
+from ..kernel.base import OsInstance
+from ..kernel.linux import LinuxKernel
+from ..kernel.pagetable import PageKind
+from ..kernel.tuning import LargePagePolicy
+from ..net.collectives import CollectiveModel
+from ..net.fabric import fabric_for
+from ..net.rdma import register_many
+from ..noise.catalog import churn_compaction_source, noise_sources_for
+from ..noise.sampler import BarrierDelaySampler
+from ..sim.rng import fnv1a_64
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """Where the time went (totals over the whole run, seconds)."""
+
+    compute: float
+    tlb: float
+    churn: float
+    collective: float
+    noise: float
+    init: float
+
+    @property
+    def total(self) -> float:
+        return (self.compute + self.tlb + self.churn + self.collective
+                + self.noise + self.init)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of running one profile on one OS at one node count."""
+
+    app: str
+    machine: str
+    os_kind: str
+    n_nodes: int
+    n_threads: int
+    times: tuple[float, ...]  # per-run wall times
+    breakdown: Breakdown      # of the mean run
+
+    @property
+    def mean_time(self) -> float:
+        return float(np.mean(self.times))
+
+    @property
+    def std_time(self) -> float:
+        return float(np.std(self.times))
+
+    def ci95(self) -> tuple[float, float]:
+        """95% confidence interval of the mean wall time (Student t).
+
+        With a single run the interval degenerates to the point value.
+        """
+        n = len(self.times)
+        if n < 2:
+            return (self.mean_time, self.mean_time)
+        from scipy import stats
+
+        sem = float(np.std(self.times, ddof=1)) / np.sqrt(n)
+        half = float(stats.t.ppf(0.975, n - 1)) * sem
+        return (self.mean_time - half, self.mean_time + half)
+
+
+def _churn_page_kind(os_instance: OsInstance) -> tuple[int, PageKind]:
+    """(page_bytes, kind) at which Linux re-faults churned heap memory.
+
+    Under THP fresh anonymous memory is faulted at base granularity and
+    only later collapsed by khugepaged, so churned pages effectively pay
+    base-page faults; hugeTLBfs mappings fault at the huge size.
+    """
+    geo = os_instance.app_page_geometry()
+    if isinstance(os_instance, LinuxKernel):
+        if os_instance.tuning.large_pages is LargePagePolicy.HUGETLBFS:
+            kind = os_instance.app_page_kind()
+            return geo.size_of(kind), kind
+        return geo.base, PageKind.BASE
+    kind = os_instance.app_page_kind()
+    return geo.size_of(kind), kind
+
+
+class AppRunner:
+    """Runs workload profiles against OS instances on one machine."""
+
+    def __init__(self, machine: Machine, profile: WorkloadProfile,
+                 seed: int = 0) -> None:
+        self.machine = machine
+        self.profile = profile
+        self.seed = seed
+        self.fabric = fabric_for(machine.interconnect)
+
+    # -- component models -------------------------------------------------
+
+    def _tlb_time_per_interval(self, os_instance: OsInstance,
+                               n_nodes: int) -> float:
+        p = self.profile
+        geo = os_instance.app_page_geometry()
+        page_bytes = geo.size_of(os_instance.app_page_kind())
+        # Both kernel personalities expose a TlbModel as ``.tlb``.
+        tlb: TlbModel = os_instance.tlb  # type: ignore[attr-defined]
+        overhead_per_sec = tlb.miss_overhead(
+            working_set=p.working_set_at(n_nodes),
+            page_size=page_bytes,
+            refs_per_second=p.refs_per_second,
+            locality=p.locality,
+        )
+        pollution = os_instance.cache_pollution_factor()
+        return p.sync_interval_at(n_nodes) * overhead_per_sec * pollution
+
+    def _churn_time_per_interval(self, os_instance: OsInstance,
+                                 n_nodes: int, threads_per_rank: int) -> float:
+        churn = self.profile.churn_bytes_at(n_nodes, self.machine.name)
+        if churn == 0:
+            return 0.0
+        if not isinstance(os_instance, LinuxKernel):
+            # LWK heap: memory is faulted once at init and retained;
+            # steady-state alloc/free cycles cost only the (local) brk
+            # bookkeeping, priced as one syscall.
+            return os_instance.costs.syscall_cost(delegated=False)
+        page_bytes, kind = _churn_page_kind(os_instance)
+        populate = os_instance.costs.populate_cost(churn, page_bytes, kind)
+        # Returning the memory tears down translations: shootdown of the
+        # base-page PTEs across the rank's other threads.
+        geo = os_instance.app_page_geometry()
+        n_flushes = -(-churn // geo.base)
+        shootdown = os_instance.tlb.shootdown_cost(
+            n_flushes=n_flushes,
+            n_target_cores=max(0, threads_per_rank - 1),
+            threads_on_one_core=(threads_per_rank == 1),
+        )
+        return populate + shootdown
+
+    def _collective_time(self, n_nodes: int, ranks_per_node: int) -> float:
+        model = CollectiveModel(self.fabric, n_nodes, ranks_per_node)
+        return model.cost(self.profile.collective,
+                          self.profile.msg_bytes_at(n_nodes))
+
+    def _noise_delay_per_interval(
+        self, os_instance: OsInstance, n_nodes: int, n_threads: int,
+        rng: np.random.Generator,
+    ) -> float:
+        sources = list(noise_sources_for(os_instance))
+        # App-induced THP compaction stalls (the scale-growing half of
+        # the LULESH heap effect).
+        churn = self.profile.churn_bytes_at(n_nodes, self.machine.name)
+        if (
+            churn > 0
+            and isinstance(os_instance, LinuxKernel)
+            and os_instance.tuning.large_pages is LargePagePolicy.THP
+        ):
+            sources.append(churn_compaction_source(churn))
+        if not sources:
+            return 0.0
+        sampler = BarrierDelaySampler(
+            sources,
+            sync_interval=self.profile.sync_interval_at(n_nodes),
+            n_threads=n_threads,
+        )
+        n_sample = min(self.profile.iterations, 512)
+        return float(sampler.sample(n_sample, rng).mean())
+
+    def _init_time(self, os_instance: OsInstance, n_nodes: int) -> float:
+        p = self.profile
+        costs = os_instance.costs
+        geo = os_instance.app_page_geometry()
+        kind = os_instance.app_page_kind()
+        page_bytes = geo.size_of(kind)
+        # Working-set population (both kernels; McKernel also pre-pays
+        # the churn arena here — negligible next to the working set).
+        populate = costs.populate_cost(p.working_set_at(n_nodes),
+                                       page_bytes, kind)
+        io = p.init.io_syscalls * costs.syscall_cost(
+            delegated=os_instance.syscall_delegated("read")
+        )
+        regs = register_many(
+            os_instance, p.init.reg_count, p.init.reg_bytes_each
+        ).total_time * p.init.reg_repeats
+        return p.init.compute + populate + io + regs
+
+    # -- the run -------------------------------------------------------------
+
+    def run(self, os_instance: OsInstance, n_nodes: int,
+            n_runs: int = 3) -> RunResult:
+        """Execute the profile ``n_runs`` times; per-run noise and
+        variability draws differ, producing the error bars of Figs. 5-7."""
+        if n_nodes <= 0 or n_nodes > self.machine.n_nodes:
+            raise ConfigurationError(
+                f"n_nodes must be in 1..{self.machine.n_nodes}"
+            )
+        if n_runs <= 0:
+            raise ConfigurationError("n_runs must be positive")
+        p = self.profile
+        geo = p.geometry_for(self.machine.name)
+        n_threads = n_nodes * geo.threads_per_node
+        per_iter_static = (
+            p.sync_interval_at(n_nodes)
+            + self._tlb_time_per_interval(os_instance, n_nodes)
+            + self._churn_time_per_interval(os_instance, n_nodes,
+                                            geo.threads_per_rank)
+            + self._collective_time(n_nodes, geo.ranks_per_node)
+        )
+        init = self._init_time(os_instance, n_nodes)
+        n_intervals = p.iterations * p.steps
+
+        times = []
+        noise_means = []
+        for run_idx in range(n_runs):
+            rng = np.random.default_rng(
+                (self.seed, run_idx, n_nodes,
+                 fnv1a_64(f"{self.profile.name}/{os_instance.kind}"))
+            )
+            noise = self._noise_delay_per_interval(
+                os_instance, n_nodes, n_threads, rng
+            )
+            noise_means.append(noise)
+            base = init + n_intervals * (per_iter_static + noise)
+            # Run-to-run variability has two parts: the node assignment
+            # (shared between the two OSes — the paper used "the exact
+            # same compute nodes" for each pair, so it cancels in the
+            # ratio) and an OS-private residual.
+            rng_common = np.random.default_rng(
+                (self.seed, run_idx, n_nodes, fnv1a_64(self.profile.name))
+            )
+            jitter = float(
+                np.exp(0.8 * p.variability * rng_common.standard_normal())
+                * np.exp(0.36 * p.variability * rng.standard_normal())
+            )
+            times.append(base * jitter)
+
+        mean_noise = float(np.mean(noise_means))
+        breakdown = Breakdown(
+            compute=n_intervals * p.sync_interval_at(n_nodes),
+            tlb=n_intervals * self._tlb_time_per_interval(os_instance, n_nodes),
+            churn=n_intervals * self._churn_time_per_interval(
+                os_instance, n_nodes, geo.threads_per_rank),
+            collective=n_intervals * self._collective_time(
+                n_nodes, geo.ranks_per_node),
+            noise=n_intervals * mean_noise,
+            init=init,
+        )
+        return RunResult(
+            app=p.name,
+            machine=self.machine.name,
+            os_kind=os_instance.kind,
+            n_nodes=n_nodes,
+            n_threads=n_threads,
+            times=tuple(times),
+            breakdown=breakdown,
+        )
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Linux vs McKernel at one node count (Figs. 5-7 bar pairs)."""
+
+    n_nodes: int
+    linux: RunResult
+    mckernel: RunResult
+
+    @property
+    def relative_performance(self) -> float:
+        """McKernel performance relative to Linux == 1 (paper's Y axis;
+        higher is better, computed as time ratio)."""
+        return self.linux.mean_time / self.mckernel.mean_time
+
+    @property
+    def speedup_percent(self) -> float:
+        return (self.relative_performance - 1.0) * 100.0
+
+
+def compare(
+    machine: Machine,
+    profile: WorkloadProfile,
+    linux: OsInstance,
+    mckernel: OsInstance,
+    node_counts: list[int],
+    n_runs: int = 3,
+    seed: int = 0,
+) -> list[Comparison]:
+    """Run the Linux/McKernel pair across a node-count sweep.
+
+    Mirrors the paper's methodology note: "for each node count the
+    exact same compute nodes are utilized for both" — here, the same
+    seed stream drives both OSes at each node count.
+    """
+    runner = AppRunner(machine, profile, seed=seed)
+    out = []
+    for n in node_counts:
+        out.append(
+            Comparison(
+                n_nodes=n,
+                linux=runner.run(linux, n, n_runs=n_runs),
+                mckernel=runner.run(mckernel, n, n_runs=n_runs),
+            )
+        )
+    return out

@@ -1,0 +1,28 @@
+"""Discrete-event simulation core: engine, RNG streams, distributions."""
+
+from .engine import Engine, Event, Process, Resource, Timeout
+from .distributions import (
+    Distribution,
+    Fixed,
+    LogNormalCapped,
+    Pareto,
+    TruncatedExponential,
+    Uniform,
+)
+from .rng import RngRegistry, fnv1a_64
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Process",
+    "Resource",
+    "Timeout",
+    "Distribution",
+    "Fixed",
+    "Uniform",
+    "TruncatedExponential",
+    "LogNormalCapped",
+    "Pareto",
+    "RngRegistry",
+    "fnv1a_64",
+]

@@ -1,0 +1,69 @@
+"""Deterministic, hierarchically-seeded random number streams.
+
+Every stochastic component of the simulator draws from its own named
+stream so that (a) runs are reproducible given a root seed and (b) adding
+or removing one component does not perturb the draws of any other — a
+standard requirement for variance-reduced A/B comparisons of system
+configurations (here: Linux vs. McKernel on identical "nodes").
+
+Streams are derived with :class:`numpy.random.SeedSequence` using the
+stable 64-bit FNV-1a hash of the stream name, so a stream's draws depend
+only on ``(root_seed, name)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a_64(name: str) -> int:
+    """Stable 64-bit FNV-1a hash of a string (Python's ``hash`` is salted
+    per process and therefore unusable for reproducible seeding)."""
+    h = _FNV_OFFSET
+    for byte in name.encode("utf-8"):
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK64
+    return h
+
+
+class RngRegistry:
+    """Factory of named, independent :class:`numpy.random.Generator` streams.
+
+    >>> reg = RngRegistry(seed=42)
+    >>> a = reg.stream("noise/daemon")
+    >>> b = reg.stream("noise/kworker")
+
+    The same name always returns the *same generator object* within one
+    registry, so sequential draws continue rather than restart.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        gen = self._streams.get(name)
+        if gen is None:
+            ss = np.random.SeedSequence([self.seed, fnv1a_64(name)])
+            gen = np.random.Generator(np.random.PCG64(ss))
+            self._streams[name] = gen
+        return gen
+
+    def fresh(self, name: str) -> np.random.Generator:
+        """Return a *new* generator for ``name`` seeded from scratch,
+        discarding any accumulated state.  Useful for re-running one
+        component with identical draws."""
+        ss = np.random.SeedSequence([self.seed, fnv1a_64(name)])
+        gen = np.random.Generator(np.random.PCG64(ss))
+        self._streams[name] = gen
+        return gen
+
+    def spawn(self, name: str) -> "RngRegistry":
+        """Derive a child registry (e.g. one per simulated node) whose
+        streams are independent of the parent's."""
+        return RngRegistry(seed=(self.seed * _FNV_PRIME + fnv1a_64(name)) & _MASK64)

@@ -1,0 +1,97 @@
+"""Unit helpers.
+
+Internally the simulator uses **seconds** (float) for time and **bytes**
+(int) for memory sizes.  These helpers exist so that configuration code
+reads like the paper ("6.5 ms quanta", "32 GB HBM2") instead of raw
+exponents, and so that unit bugs are greppable.
+"""
+
+from __future__ import annotations
+
+# --- time ----------------------------------------------------------------
+
+#: One nanosecond in seconds.
+NS = 1e-9
+#: One microsecond in seconds.
+US = 1e-6
+#: One millisecond in seconds.
+MS = 1e-3
+#: One second.
+SEC = 1.0
+#: One minute in seconds.
+MINUTE = 60.0
+
+
+def ns(x: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return x * NS
+
+
+def us(x: float) -> float:
+    """Convert microseconds to seconds."""
+    return x * US
+
+
+def ms(x: float) -> float:
+    """Convert milliseconds to seconds."""
+    return x * MS
+
+
+def to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds / US
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MS
+
+
+# --- memory sizes ---------------------------------------------------------
+
+#: One kibibyte.
+KiB = 1024
+#: One mebibyte.
+MiB = 1024 * KiB
+#: One gibibyte.
+GiB = 1024 * MiB
+#: One tebibyte.
+TiB = 1024 * GiB
+
+
+def kib(x: float) -> int:
+    """Convert KiB to bytes."""
+    return int(x * KiB)
+
+
+def mib(x: float) -> int:
+    """Convert MiB to bytes."""
+    return int(x * MiB)
+
+
+def gib(x: float) -> int:
+    """Convert GiB to bytes."""
+    return int(x * GiB)
+
+
+def fmt_bytes(n: int) -> str:
+    """Human-readable byte count (binary units), e.g. ``fmt_bytes(2<<20)``
+    -> ``'2.0 MiB'``."""
+    size = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(size) < 1024.0 or unit == "TiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration, choosing ns/us/ms/s automatically."""
+    a = abs(seconds)
+    if a < US:
+        return f"{seconds / NS:.1f} ns"
+    if a < MS:
+        return f"{seconds / US:.2f} us"
+    if a < SEC:
+        return f"{seconds / MS:.3f} ms"
+    return f"{seconds:.3f} s"

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.machines import a64fx_testbed, fugaku, oakforest_pacs
+from repro.kernel.linux import LinuxKernel
+from repro.kernel.tuning import fugaku_production, ofp_default, untuned
+from repro.mckernel.lwk import boot_mckernel
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def fugaku_machine():
+    return fugaku()
+
+
+@pytest.fixture(scope="session")
+def ofp_machine():
+    return oakforest_pacs()
+
+
+@pytest.fixture(scope="session")
+def testbed_machine():
+    return a64fx_testbed()
+
+
+@pytest.fixture
+def fugaku_linux(fugaku_machine):
+    return LinuxKernel(fugaku_machine.node, fugaku_production())
+
+
+@pytest.fixture
+def ofp_linux(ofp_machine):
+    return LinuxKernel(ofp_machine.node, ofp_default(),
+                       interconnect=ofp_machine.interconnect)
+
+
+@pytest.fixture
+def untuned_linux(fugaku_machine):
+    return LinuxKernel(fugaku_machine.node, untuned())
+
+
+@pytest.fixture
+def fugaku_mckernel(fugaku_machine):
+    return boot_mckernel(fugaku_machine.node,
+                         host_tuning=fugaku_production())
+
+
+@pytest.fixture
+def ofp_mckernel(ofp_machine):
+    return boot_mckernel(ofp_machine.node, host_tuning=ofp_default())

@@ -1,0 +1,93 @@
+"""Calibration regression pins.
+
+The noise catalogue's constants were derived once from the paper's
+Table 2 / Figure 4 values (derivations in EXPERIMENTS.md and the module
+docstrings) and then frozen — every experiment's agreement with the
+paper depends on them.  These tests pin the frozen values so an
+accidental edit fails loudly with a pointer to the derivation, instead
+of silently skewing every figure.
+
+If you change a constant DELIBERATELY: re-run
+``python examples/reproduce_paper.py --full``, confirm the shapes in
+EXPERIMENTS.md still hold, update that file, and only then update the
+pin here.
+"""
+
+import pytest
+
+from repro.kernel.tasks import ofp_task_population, standard_task_population
+from repro.noise.catalog import (
+    hw_contention_source,
+    khugepaged_source,
+    straggler_source,
+)
+
+
+def _by_name(tasks):
+    return {t.name: t for t in tasks}
+
+
+def test_fugaku_task_intervals_pinned():
+    t = _by_name(standard_task_population())
+    assert t["daemons"].interval == pytest.approx(3.85)
+    assert t["kworker"].interval == pytest.approx(38.0)
+    assert t["blk-mq"].interval == pytest.approx(59.5)
+    assert t["pmu-read"].interval == pytest.approx(1.9)
+    assert t["tlbi-broadcast"].interval == pytest.approx(600.0)
+    assert t["sar"].interval == pytest.approx(10.0)
+
+
+def test_fugaku_burst_caps_are_table2_maxima():
+    t = _by_name(standard_task_population())
+    # These ARE Table 2's "maximum noise length" column (µs).
+    for name, cap_us in (("sar", 50.44), ("kworker", 266.34),
+                         ("blk-mq", 387.91), ("pmu-read", 103.09),
+                         ("tlbi-broadcast", 90.2), ("daemons", 20347.0)):
+        assert t[name].duration.upper == pytest.approx(cap_us * 1e-6,
+                                                       rel=1e-3), name
+
+
+def test_ofp_daemon_dilution_pinned():
+    t = _by_name(ofp_task_population())
+    assert t["daemons"].interval == pytest.approx(150.0)
+    assert t["daemons"].duration.upper == pytest.approx(17.4e-3)
+
+
+def test_straggler_parameters_pinned():
+    fug = straggler_source("fugaku")
+    assert fug.interval == pytest.approx(50.0 * 3600.0 * 48)
+    assert fug.max_length == pytest.approx(3.6e-3)
+    ofp = straggler_source("ofp")
+    assert ofp.interval == pytest.approx(200.0 * 3600.0)
+    assert ofp.max_length == pytest.approx(17.5e-3)
+
+
+def test_khugepaged_parameters_pinned():
+    k = khugepaged_source()
+    assert k.interval == pytest.approx(240.0)
+    assert k.max_length == pytest.approx(17.5e-3)
+
+
+def test_hw_contention_arch_asymmetry_pinned():
+    # A64FX contention must stay BELOW Linux's sar cap (50.44 us) so the
+    # LWK never becomes the noisier kernel at saturation (exascale exp).
+    a64 = hw_contention_source("aarch64")
+    assert a64.max_length < 50.44e-6
+    # KNL SMT contention reaches ~0.5 ms (OFP Fig. 4a McKernel tail).
+    knl = hw_contention_source("x86_64")
+    assert knl.max_length == pytest.approx(500e-6)
+
+
+def test_cost_model_ratios_pinned():
+    from repro.kernel.costmodel import LINUX_COSTS, MCKERNEL_COSTS
+
+    assert MCKERNEL_COSTS.delegation_overhead == pytest.approx(2.6e-6)
+    # The LWK fault path stays at least ~2x leaner than Linux's.
+    assert LINUX_COSTS.fault_fixed > 1.9 * MCKERNEL_COSTS.fault_fixed
+
+
+def test_pin_cost_pinned():
+    from repro.net.rdma import PICO_FIXED_COST, PIN_COST_PER_PAGE
+
+    assert PIN_COST_PER_PAGE == pytest.approx(2.2e-6)
+    assert PICO_FIXED_COST == pytest.approx(2.0e-6)

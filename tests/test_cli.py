@@ -1,0 +1,73 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_runs(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table2" in out
+    assert "GAMERA" in out
+
+
+def test_experiment_subcommand(capsys):
+    assert main(["experiment", "eq1", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Eq. 1 closed form" in out
+    assert "paper reference" in out
+
+
+def test_compare_subcommand(capsys):
+    assert main(["compare", "LQCD", "--platform", "fugaku",
+                 "--nodes", "512", "--runs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "McKernel relative performance" in out
+    assert "breakdown" in out
+
+
+def test_fwq_subcommand(capsys):
+    assert main(["fwq", "--platform", "fugaku", "--os", "linux",
+                 "--duration", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "noise rate" in out
+
+
+def test_fwq_untuned_is_noisier(capsys):
+    main(["fwq", "--tuning", "untuned", "--duration", "20"])
+    untuned_out = capsys.readouterr().out
+    main(["fwq", "--tuning", "production", "--duration", "20"])
+    tuned_out = capsys.readouterr().out
+
+    def rate(text):
+        for line in text.splitlines():
+            if "noise rate" in line:
+                return float(line.split(":")[1])
+        raise AssertionError("no rate in output")
+
+    assert rate(untuned_out) > rate(tuned_out)
+
+
+def test_unknown_experiment_fails():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        main(["experiment", "fig99"])
+
+
+def test_parser_rejects_bad_platform():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["compare", "LQCD", "--platform", "mars"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_export_subcommand(tmp_path, capsys):
+    assert main(["export", str(tmp_path), "eq1"]) == 0
+    out = capsys.readouterr().out
+    assert "eq1.json" in out
+    assert (tmp_path / "eq1.txt").exists()

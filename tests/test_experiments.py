@@ -1,0 +1,113 @@
+"""Experiment harness: registry integrity and per-experiment sanity."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.report import (
+    ExperimentResult,
+    format_series,
+    format_table,
+)
+
+
+def test_registry_covers_every_table_and_figure():
+    paper_artefacts = {
+        "table1", "eq1", "table2", "fig1", "fig2", "fig3", "fig4",
+        "fig5", "fig6", "fig7", "summary",
+    }
+    assert paper_artefacts <= set(EXPERIMENTS)
+    # Extensions beyond the paper are allowed (and present).
+    assert "exascale" in EXPERIMENTS
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(ConfigurationError):
+        run_experiment("fig99")
+
+
+@pytest.mark.parametrize("eid", sorted(EXPERIMENTS))
+def test_every_experiment_runs_and_renders(eid):
+    result = run_experiment(eid, fast=True, seed=0)
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == eid
+    assert result.data
+    rendered = result.render()
+    assert eid in rendered
+    assert len(rendered.splitlines()) >= 3
+
+
+def test_experiments_are_seed_deterministic():
+    a = run_experiment("table2", fast=True, seed=7)
+    b = run_experiment("table2", fast=True, seed=7)
+    assert a.data == b.data
+
+
+def test_table1_pins_platform_facts():
+    data = run_experiment("table1").data
+    assert data["ofp"]["nodes"] == 8192
+    assert data["fugaku"]["nodes"] == 158976
+    assert data["fugaku"]["tlb_l2"] == 1024
+
+
+def test_eq1_matches_paper_number():
+    data = run_experiment("eq1").data
+    assert data["analytic"] == pytest.approx(0.20, abs=0.01)
+    assert data["monte_carlo"] == pytest.approx(data["analytic"], rel=0.1)
+    assert data["full_fugaku_hit_probability"] > 0.95
+
+
+def test_fig3_daemon_panel_is_worst():
+    data = run_experiment("fig3").data
+    assert data["Daemon process"]["max_us"] > 1000
+    assert data["None"]["max_us"] < 150
+    for label, panel in data.items():
+        if label not in ("None", "Daemon process"):
+            assert panel["max_us"] < 1000, label
+
+
+def test_fig4_orderings():
+    data = run_experiment("fig4").data
+    q = {k: v["quantiles_ms"]["expected_max"] for k, v in data.items()}
+    # OFP significantly more jittery than Fugaku (§6.3).
+    assert q["OFP Linux (1,024 nodes)"] > q["Fugaku Linux (full scale)"]
+    # McKernel < 7 ms on OFP.
+    assert q["OFP McKernel (1,024 nodes)"] < 7.0
+    # Full-scale Linux tail longer than 24 racks; 24-rack Linux only
+    # slightly worse than McKernel.
+    assert q["Fugaku Linux (full scale)"] > q["Fugaku Linux (24 racks)"]
+    assert q["Fugaku Linux (24 racks)"] < \
+        q["Fugaku McKernel (24 racks)"] + 1.5
+
+
+def test_report_formatters():
+    table = format_table(["a", "b"], [[1, 2], [3, 4]], title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "-" in lines[2]
+    series = format_series("s", [1, 2], [0.5, 0.6], [0.01, 0.02])
+    assert "series: s" in series
+    assert "+/-" in series
+
+
+def test_fig1_timeline_claim():
+    data = run_experiment("fig1").data
+    assert data["delay_ms"] == pytest.approx(data["injected_noise_ms"])
+    # Only the noisy interval stretched.
+    intervals = data["interval_ms"]
+    assert intervals[2] == pytest.approx(1.0 + data["injected_noise_ms"])
+    assert intervals[0] == pytest.approx(1.0)
+
+
+def test_fig2_architecture_facts():
+    data = run_experiment("fig2").data
+    assert data["lwk_cpu_count"] == 48
+    assert len(data["linux_cpus"]) == 2
+    assert data["ikc_round_trip_us"] == pytest.approx(2.6, rel=0.01)
+
+
+def test_exascale_projection_bounded():
+    data = run_experiment("exascale").data
+    for app, d in data.items():
+        assert len(d["mckernel_gain_percent"]) == len(d["scale_factors"])
+        assert all(abs(g) < 10 for g in d["mckernel_gain_percent"]), app

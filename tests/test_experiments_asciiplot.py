@@ -1,0 +1,72 @@
+"""ASCII figure rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.asciiplot import cdf_plot, line_plot
+
+
+def test_single_series_renders_with_axes():
+    out = line_plot({"a": ([1, 2, 3], [1.0, 2.0, 3.0])},
+                    x_label="n", y_label="v")
+    lines = out.splitlines()
+    assert any("*" in l for l in lines)
+    assert any("+--" in l for l in lines)
+    assert "* a" in lines[-1]
+    assert "[v]" in lines[-1]
+
+
+def test_values_placed_monotonically():
+    out = line_plot({"up": ([1, 2, 3, 4], [1, 2, 3, 4])}, height=8)
+    rows = [i for i, l in enumerate(out.splitlines()) if "*" in l]
+    # An increasing series occupies increasing rows bottom-to-top, i.e.
+    # both the top and bottom plot rows are touched.
+    assert min(rows) <= 1
+    assert max(rows) >= 6
+
+
+def test_multiple_series_get_distinct_glyphs():
+    out = line_plot({
+        "a": ([1, 2], [1, 1]),
+        "b": ([1, 2], [2, 2]),
+        "c": ([1, 2], [3, 3]),
+    })
+    assert "* a" in out and "o b" in out and "+ c" in out
+
+
+def test_logx_spacing():
+    out = line_plot({"s": ([16, 8192], [1.0, 1.2])}, logx=True,
+                    x_label="nodes")
+    assert "16" in out
+    assert "8.2e+03" in out
+
+
+def test_flat_series_does_not_crash():
+    out = line_plot({"flat": ([1, 2, 3], [5.0, 5.0, 5.0])})
+    assert "flat" in out
+
+
+def test_cdf_plot_wrapper():
+    out = cdf_plot({"c": ([6.5, 7.0, 8.0], [0.5, 0.9, 1.0])})
+    assert "[CDF]" in out
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        line_plot({})
+    with pytest.raises(ConfigurationError):
+        line_plot({"a": ([1], [1, 2])})
+    with pytest.raises(ConfigurationError):
+        line_plot({"a": ([0, 1], [1, 2])}, logx=True)
+    with pytest.raises(ConfigurationError):
+        line_plot({"a": ([1], [1])}, width=4)
+
+
+def test_figure_experiments_embed_plots():
+    from repro.experiments import run_experiment
+
+    text = run_experiment("fig7").text
+    assert "[McKernel rel. perf (Linux = 1)]" in text
+    assert "+----" in text
+    fig4 = run_experiment("fig4").text
+    assert "log10 P(length > x)" in fig4

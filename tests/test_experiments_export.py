@@ -1,0 +1,59 @@
+"""Result export: JSON, CSV series, text renderings."""
+
+import csv
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import run_experiment
+from repro.experiments.export import (
+    export_all,
+    export_json,
+    export_series_csv,
+)
+
+
+def test_export_json_round_trips(tmp_path):
+    result = run_experiment("eq1")
+    path = export_json(result, tmp_path)
+    payload = json.loads(path.read_text())
+    assert payload["experiment_id"] == "eq1"
+    assert payload["data"]["analytic"] == pytest.approx(0.195, abs=0.01)
+    assert "paper_reference" in payload
+
+
+def test_export_series_csv_for_figures(tmp_path):
+    result = run_experiment("fig7")
+    paths = export_series_csv(result, tmp_path)
+    names = {p.name for p in paths}
+    assert names == {"fig7_LQCD.csv", "fig7_GeoFEM.csv", "fig7_GAMERA.csv"}
+    with (tmp_path / "fig7_GAMERA.csv").open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == len(result.data["GAMERA"]["nodes"])
+    assert float(rows[-1]["relative_performance"]) > 1.2
+
+
+def test_non_figure_results_write_no_csv(tmp_path):
+    result = run_experiment("table2")
+    assert export_series_csv(result, tmp_path) == []
+
+
+def test_export_all_subset(tmp_path):
+    written = export_all(tmp_path, ids=["eq1", "fig7"])
+    assert set(written) == {"eq1", "fig7"}
+    assert (tmp_path / "eq1.json").exists()
+    assert (tmp_path / "eq1.txt").exists()
+    assert (tmp_path / "fig7_LQCD.csv").exists()
+
+
+def test_export_all_rejects_unknown(tmp_path):
+    with pytest.raises(ConfigurationError):
+        export_all(tmp_path, ids=["fig99"])
+
+
+def test_json_handles_numpy_types(tmp_path):
+    # fig4's data carries numpy-derived floats/lists.
+    result = run_experiment("fig4")
+    path = export_json(result, tmp_path)
+    json.loads(path.read_text())  # must not raise

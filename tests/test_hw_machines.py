@@ -1,0 +1,94 @@
+"""Machine configurations against Table 1."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.machines import (
+    NODES_PER_RACK,
+    a64fx_testbed,
+    fugaku,
+    fugaku_racks,
+    oakforest_pacs,
+)
+from repro.units import gib
+
+
+def test_ofp_table1_values():
+    ofp = oakforest_pacs()
+    assert ofp.n_nodes == 8192
+    assert ofp.peak_pflops == 25.0
+    assert ofp.node.arch == "x86_64"
+    assert ofp.node.topology.physical_cores == 68
+    assert ofp.node.topology.smt == 4
+    assert ofp.node.topology.logical_cpus == 272
+    assert ofp.node.numa.total_bytes() == gib(96 + 16)
+    assert "OmniPath" in ofp.interconnect
+
+
+def test_fugaku_table1_values():
+    fug = fugaku()
+    assert fug.n_nodes == 158976
+    assert fug.peak_pflops == 488.0
+    assert fug.node.arch == "aarch64"
+    assert fug.node.topology.smt == 1
+    assert len(fug.node.topology.application_cpu_ids()) == 48
+    assert fug.node.numa.total_bytes() == gib(32)
+    assert fug.node.base_page_size == 64 * 1024  # RHEL aarch64
+    assert "TofuD" in fug.interconnect
+
+
+def test_fugaku_node_variants():
+    assert fugaku(50).node.topology.assistant_cores == 2
+    assert fugaku(52).node.topology.assistant_cores == 4
+    with pytest.raises(ConfigurationError):
+        fugaku(51)
+
+
+def test_fugaku_total_hw_threads_is_papers_n():
+    # §6.3: N = 7,630,848 total HW threads at full scale... the paper's
+    # figure counts 48 app cores on every node.
+    assert fugaku().total_app_hw_threads == 158976 * 48 == 7630848
+
+
+def test_a64fx_cmg_structure():
+    node = fugaku().node
+    assert node.topology.n_groups == 4
+    assert node.topology.cores_per_group == 12
+    # One 8 GiB HBM2 stack local to each CMG.
+    for g in range(4):
+        dom = node.numa.local_domain(g, role=list(node.numa)[0].role)
+        assert dom.size_bytes == gib(8)
+
+
+def test_testbed_matches_fugaku_node():
+    tb = a64fx_testbed()
+    assert tb.n_nodes == 16
+    assert tb.node.arch == "aarch64"
+    assert tb.node.tlb.l2_entries == fugaku().node.tlb.l2_entries
+
+
+def test_scaled_partition():
+    fug = fugaku()
+    part = fug.scaled(9216)
+    assert part.n_nodes == 9216
+    assert part.node is fug.node
+    with pytest.raises(ConfigurationError):
+        fug.scaled(0)
+    with pytest.raises(ConfigurationError):
+        oakforest_pacs().scaled(10000)
+
+
+def test_racks_arithmetic():
+    # 24 racks = 9,216 nodes, the paper's McKernel partition.
+    assert 24 * NODES_PER_RACK == 9216
+    assert fugaku_racks(24).n_nodes == 9216
+    assert NODES_PER_RACK * 414 <= 158976  # full machine is 432 racks
+    with pytest.raises(ConfigurationError):
+        fugaku_racks(0)
+
+
+def test_ofp_mcdram_is_high_bandwidth():
+    ofp = oakforest_pacs()
+    kinds = {d.kind.value: d for d in ofp.node.numa}
+    assert kinds["mcdram"].bandwidth > kinds["ddr4"].bandwidth
+    assert kinds["mcdram"].size_bytes == gib(16)

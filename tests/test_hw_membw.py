@@ -1,0 +1,80 @@
+"""Memory bandwidth sharing per NUMA domain."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.machines import fugaku, oakforest_pacs
+from repro.hardware.membw import BandwidthModel, rank_bandwidth_demand
+
+
+@pytest.fixture
+def model(fugaku_machine):
+    return BandwidthModel(fugaku_machine.node.numa)
+
+
+def test_unsaturated_domain_is_free(model):
+    model.register("rank0", 0, 50e9)  # HBM2 stack does 256 GB/s
+    assert model.saturation(0) < 1.0
+    assert model.slowdown(0) == 1.0
+    assert model.achieved_bandwidth("rank0", 0) == 50e9
+
+
+def test_oversubscription_slows_everyone(model):
+    for i in range(12):  # a CMG's 12 cores streaming 30 GB/s each
+        model.register(f"core{i}", 0, 30e9)
+    assert model.saturation(0) == pytest.approx(360e9 / 256e9)
+    slow = model.slowdown(0)
+    assert slow == pytest.approx(1.40625)
+    assert model.achieved_bandwidth("core0", 0) == pytest.approx(
+        30e9 / slow)
+
+
+def test_domains_are_independent(model):
+    model.register("a", 0, 300e9)
+    assert model.slowdown(0) > 1.0
+    assert model.slowdown(1) == 1.0  # other CMG untouched — §4.1.4 locality
+
+
+def test_stream_time_scales_with_contention(model):
+    model.register("a", 0, 200e9)
+    t_alone = model.effective_stream_time("a", 0, 10 << 30)
+    model.register("b", 0, 200e9)
+    t_contended = model.effective_stream_time("a", 0, 10 << 30)
+    assert t_contended > t_alone
+    assert t_contended / t_alone == pytest.approx(model.slowdown(0))
+
+
+def test_unregister(model):
+    model.register("a", 0, 300e9)
+    model.unregister("a", 0)
+    assert model.saturation(0) == 0.0
+    with pytest.raises(ConfigurationError):
+        model.unregister("a", 0)
+
+
+def test_mcdram_vs_ddr_on_knl(ofp_machine):
+    model = BandwidthModel(ofp_machine.node.numa)
+    # Same demand saturates DDR4 (90 GB/s) long before MCDRAM (450 GB/s).
+    for i in range(4):
+        model.register(f"r{i}", 0, 40e9)  # DDR4 domain
+        model.register(f"m{i}", 1, 40e9)  # MCDRAM domain
+    assert model.slowdown(0) > 1.5
+    assert model.slowdown(1) == 1.0
+
+
+def test_rank_bandwidth_demand():
+    assert rank_bandwidth_demand(2e7) == pytest.approx(1.28e9)
+    with pytest.raises(ConfigurationError):
+        rank_bandwidth_demand(-1.0)
+
+
+def test_validation(model):
+    with pytest.raises(ConfigurationError):
+        model.register("a", 99, 1e9)
+    with pytest.raises(ConfigurationError):
+        model.register("a", 0, -1e9)
+    with pytest.raises(ConfigurationError):
+        model.achieved_bandwidth("ghost", 0)
+    model.register("a", 0, 1e9)
+    with pytest.raises(ConfigurationError):
+        model.effective_stream_time("a", 0, -1)

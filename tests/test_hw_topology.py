@@ -1,0 +1,94 @@
+"""CPU topology: counts, assistant cores, groups, SMT siblings."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.topology import CpuTopology
+
+
+def test_a64fx_shape():
+    topo = CpuTopology(physical_cores=50, smt=1, cores_per_group=12,
+                       assistant_cores=2)
+    assert topo.logical_cpus == 50
+    assert topo.n_groups == 4
+    assert len(topo.assistant_cpu_ids()) == 2
+    assert len(topo.application_cpu_ids()) == 48
+
+
+def test_knl_shape():
+    topo = CpuTopology(physical_cores=68, smt=4, cores_per_group=17)
+    assert topo.logical_cpus == 272
+    assert topo.n_groups == 4
+    assert topo.assistant_cpu_ids() == []
+    assert len(topo.application_cpu_ids()) == 272
+
+
+def test_assistant_cores_get_lowest_ids():
+    topo = CpuTopology(physical_cores=10, smt=1, cores_per_group=4,
+                       assistant_cores=2)
+    assert topo.assistant_cpu_ids() == [0, 1]
+    assert topo.cpu(0).is_assistant and not topo.cpu(2).is_assistant
+    assert topo.cpu(0).group_id == -1
+    assert topo.cpu(2).group_id == 0
+
+
+def test_group_membership_partitions_app_cores():
+    topo = CpuTopology(physical_cores=50, smt=1, cores_per_group=12,
+                       assistant_cores=2)
+    all_grouped = []
+    for g in range(topo.n_groups):
+        cpus = topo.group_cpu_ids(g)
+        assert len(cpus) == 12
+        all_grouped.extend(cpus)
+    assert sorted(all_grouped) == topo.application_cpu_ids()
+
+
+def test_smt_siblings_share_core():
+    topo = CpuTopology(physical_cores=68, smt=4, cores_per_group=17)
+    sibs = topo.siblings(5)
+    assert len(sibs) == 4
+    assert len({topo.cpu(c).core_id for c in sibs}) == 1
+    assert 5 in sibs
+
+
+def test_smt_logical_numbering_is_linux_style():
+    # Linux numbers all first hyperthreads 0..N-1, then the second set.
+    topo = CpuTopology(physical_cores=4, smt=2)
+    assert topo.cpu(0).core_id == 0 and topo.cpu(0).smt_index == 0
+    assert topo.cpu(4).core_id == 0 and topo.cpu(4).smt_index == 1
+
+
+def test_validate_cpu_set_rejects_duplicates_and_unknown():
+    topo = CpuTopology(physical_cores=4, smt=1)
+    assert topo.validate_cpu_set([0, 1]) == frozenset({0, 1})
+    with pytest.raises(ConfigurationError):
+        topo.validate_cpu_set([0, 0])
+    with pytest.raises(ConfigurationError):
+        topo.validate_cpu_set([99])
+
+
+def test_group_id_out_of_range():
+    topo = CpuTopology(physical_cores=4, smt=1, cores_per_group=2)
+    with pytest.raises(ConfigurationError):
+        topo.group_cpu_ids(2)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(physical_cores=0),
+        dict(physical_cores=4, smt=0),
+        dict(physical_cores=4, assistant_cores=4),
+        dict(physical_cores=4, assistant_cores=-1),
+        dict(physical_cores=5, cores_per_group=2),  # 5 not divisible
+    ],
+)
+def test_invalid_topologies_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        CpuTopology(**kwargs)
+
+
+def test_iteration_and_len():
+    topo = CpuTopology(physical_cores=6, smt=2, cores_per_group=3)
+    assert len(topo) == 12
+    assert len(list(topo)) == 12

@@ -1,0 +1,164 @@
+"""Buddy allocator: split/coalesce correctness, fragmentation behaviour.
+
+Includes hypothesis property tests for the core invariant: any sequence
+of allocations and frees conserves pages and coalesces back to the
+initial free-list state once everything is freed.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, OutOfMemoryError
+from repro.kernel.buddy import BuddyAllocator
+
+
+def test_initial_pool_is_fully_free():
+    b = BuddyAllocator(1024)
+    assert b.free_pages == 1024
+    assert b.allocated_pages == 0
+    assert b.largest_free_order() == 10
+
+
+def test_non_power_of_two_pool_seeds_greedily():
+    b = BuddyAllocator(1000)  # 512 + 256 + 128 + 64 + 32 + 8
+    assert b.free_pages == 1000
+    assert b.largest_free_order() == 9
+
+
+def test_alloc_splits_and_free_coalesces():
+    b = BuddyAllocator(64)
+    block = b.alloc(0)
+    assert b.free_pages == 63
+    # A single order-0 alloc forces splits all the way down.
+    assert b.largest_free_order() == 5
+    b.free(block)
+    assert b.free_pages == 64
+    assert b.largest_free_order() == 6  # fully coalesced
+
+
+def test_blocks_are_aligned_and_disjoint():
+    b = BuddyAllocator(256)
+    blocks = [b.alloc(3) for _ in range(32)]
+    seen = set()
+    for blk in blocks:
+        assert blk.start_pfn % 8 == 0  # order-3 alignment
+        span = set(range(blk.start_pfn, blk.start_pfn + 8))
+        assert not (span & seen)
+        seen |= span
+    assert b.free_pages == 0
+
+
+def test_fragmentation_blocks_large_allocations():
+    b = BuddyAllocator(64)
+    # Allocate everything as order-0 then free every second page:
+    blocks = [b.alloc(0) for _ in range(64)]
+    for blk in blocks[::2]:
+        b.free(blk)
+    assert b.free_pages == 32
+    # Plenty of free pages but no order-1 block anywhere.
+    assert not b.can_allocate(1)
+    with pytest.raises(OutOfMemoryError):
+        b.alloc(1)
+    # Checkerboard of order-0 holes: half the blocks-needed would have
+    # to come from coalescing, matching Linux's 0.5 for this pattern.
+    assert b.fragmentation_index(1) == pytest.approx(0.5)
+    # Higher orders are even more hopeless.
+    assert b.fragmentation_index(4) > b.fragmentation_index(1)
+
+
+def test_fragmentation_index_zero_when_satisfiable():
+    b = BuddyAllocator(64)
+    assert b.fragmentation_index(3) == 0.0
+
+
+def test_oom_when_exhausted():
+    b = BuddyAllocator(16)
+    b.alloc(4)
+    with pytest.raises(OutOfMemoryError):
+        b.alloc(0)
+
+
+def test_double_free_rejected():
+    b = BuddyAllocator(16)
+    blk = b.alloc(2)
+    b.free(blk)
+    with pytest.raises(ConfigurationError):
+        b.free(blk)
+
+
+def test_free_of_never_allocated_rejected():
+    from repro.kernel.buddy import BlockRange
+
+    b = BuddyAllocator(16)
+    with pytest.raises(ConfigurationError):
+        b.free(BlockRange(start_pfn=0, order=2))
+
+
+def test_alloc_pages_returns_requested_total():
+    b = BuddyAllocator(128)
+    blocks = b.alloc_pages(37)
+    assert sum(blk.n_pages for blk in blocks) >= 37
+    assert b.allocated_pages == sum(blk.n_pages for blk in blocks)
+
+
+def test_alloc_pages_rolls_back_on_failure():
+    b = BuddyAllocator(32)
+    b.alloc_pages(30)
+    free_before = b.free_pages
+    with pytest.raises(OutOfMemoryError):
+        b.alloc_pages(10)
+    assert b.free_pages == free_before  # nothing leaked
+
+
+def test_order_bounds():
+    b = BuddyAllocator(16, max_order=4)
+    with pytest.raises(ConfigurationError):
+        b.alloc(5)
+    with pytest.raises(ConfigurationError):
+        b.alloc(-1)
+    with pytest.raises(ConfigurationError):
+        BuddyAllocator(0)
+
+
+def test_deterministic_allocation_order():
+    a, b = BuddyAllocator(256), BuddyAllocator(256)
+    for _ in range(10):
+        assert a.alloc(1).start_pfn == b.alloc(1).start_pfn
+
+
+# --- hypothesis: conservation + coalescing -------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]),
+                  st.integers(min_value=0, max_value=4)),
+        max_size=60,
+    )
+)
+def test_random_alloc_free_conserves_and_coalesces(ops):
+    b = BuddyAllocator(256)
+    live = []
+    for op, order in ops:
+        if op == "alloc":
+            try:
+                live.append(b.alloc(order))
+            except OutOfMemoryError:
+                pass
+        elif live:
+            b.free(live.pop(order % len(live)))
+        # Invariant: free + allocated == total at every step.
+        assert b.free_pages + b.allocated_pages == 256
+        assert b.allocated_pages == sum(blk.n_pages for blk in live)
+    for blk in live:
+        b.free(blk)
+    assert b.free_pages == 256
+    assert b.largest_free_order() == 8  # everything coalesced back
+
+
+@settings(max_examples=30, deadline=None)
+@given(n_pages=st.integers(min_value=1, max_value=5000))
+def test_arbitrary_pool_sizes_seed_exactly(n_pages):
+    b = BuddyAllocator(n_pages)
+    assert b.free_pages == n_pages

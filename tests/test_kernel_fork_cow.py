@@ -1,0 +1,128 @@
+"""fork() and copy-on-write — the POSIX facility classic LWKs lacked."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel.buddy import BuddyAllocator
+from repro.kernel.pagetable import (
+    AARCH64_64K,
+    AddressSpace,
+    PageKind,
+)
+from repro.units import mib
+
+
+def _aspace(pages=8192):
+    return AddressSpace(AARCH64_64K, BuddyAllocator(pages))
+
+
+def test_fork_shares_physical_memory():
+    parent = _aspace()
+    vma = parent.mmap(mib(4), page_kind=PageKind.CONTIG, prefault=True)
+    used_before = parent.buddy.allocated_pages
+    child = parent.fork()
+    # No physical copying at fork time.
+    assert parent.buddy.allocated_pages == used_before
+    child_vma = child.vmas[vma.start]
+    assert [b.start_pfn for b in child_vma.blocks] == \
+        [b.start_pfn for b in vma.blocks]
+    assert child.resident_bytes == parent.resident_bytes
+
+
+def test_cow_write_copies_once():
+    parent = _aspace()
+    vma = parent.mmap(mib(4), page_kind=PageKind.CONTIG, prefault=True)
+    child = parent.fork()
+    child_vma = child.vmas[vma.start]
+    used_before = parent.buddy.allocated_pages
+    faults = child.cow_write(child_vma)
+    assert faults == 2  # two 2 MiB blocks copied
+    assert child.stats.cow_faults == 2
+    assert child.stats.cow_copied_bytes == mib(4)
+    assert parent.buddy.allocated_pages == used_before + 64  # 4 MiB extra
+    # Pages are now disjoint.
+    assert {b.start_pfn for b in child_vma.blocks}.isdisjoint(
+        {b.start_pfn for b in vma.blocks})
+    # Second write is free.
+    assert child.cow_write(child_vma) == 0
+
+
+def test_partial_cow_write():
+    parent = _aspace()
+    vma = parent.mmap(mib(4), page_kind=PageKind.CONTIG, prefault=True)
+    child = parent.fork()
+    child_vma = child.vmas[vma.start]
+    assert child.cow_write(child_vma, nbytes=mib(2)) == 1
+    assert child.cow_write(child_vma) == 1  # the rest
+
+
+def test_last_sharer_reuses_frame():
+    parent = _aspace()
+    vma = parent.mmap(mib(2), page_kind=PageKind.CONTIG, prefault=True)
+    child = parent.fork()
+    child.munmap(child.vmas[vma.start])
+    used = parent.buddy.allocated_pages
+    # Parent is now the only sharer: its write copies nothing.
+    assert parent.cow_write(vma) == 0
+    assert parent.buddy.allocated_pages == used
+    assert not vma.cow_shared
+
+
+def test_shared_frames_freed_by_last_unmap():
+    parent = _aspace()
+    vma = parent.mmap(mib(2), page_kind=PageKind.CONTIG, prefault=True)
+    child = parent.fork()
+    grandchild = child.fork()
+    assert parent.buddy.allocated_pages == 32
+    parent.munmap(vma)
+    assert parent.buddy.allocated_pages == 32  # two sharers remain
+    child.exit()
+    assert parent.buddy.allocated_pages == 32
+    grandchild.exit()
+    assert parent.buddy.allocated_pages == 0  # last sharer released
+
+
+def test_fork_chain_refcounting():
+    parent = _aspace()
+    parent.mmap(mib(2), page_kind=PageKind.CONTIG, prefault=True)
+    kids = [parent.fork() for _ in range(4)]
+    vma = next(iter(parent.vmas.values()))
+    frame = vma.cow_shared[0]
+    assert frame.refcount == 5
+    for kid in kids:
+        kid.exit()
+    assert frame.refcount == 1
+
+
+def test_cow_fault_oom_when_memory_tight():
+    from repro.errors import OutOfMemoryError
+
+    parent = _aspace(pages=48)  # room for one 2 MiB block + change
+    vma = parent.mmap(mib(2), page_kind=PageKind.CONTIG, prefault=True)
+    child = parent.fork()
+    with pytest.raises(OutOfMemoryError):
+        child.cow_write(child.vmas[vma.start])
+
+
+def test_cow_write_validates_ownership():
+    parent = _aspace()
+    vma = parent.mmap(mib(2), page_kind=PageKind.CONTIG, prefault=True)
+    child = parent.fork()
+    with pytest.raises(ConfigurationError):
+        # Parent's Vma object does not belong to the child's space.
+        child.cow_write(vma)
+
+
+def test_mckernel_fork_syscall(fugaku_mckernel):
+    p = fugaku_mckernel.spawn(memory_scale=0.001)
+    vma = p.syscall("mmap", mib(2))
+    p.address_space.touch(vma, mib(2))
+    child = p.syscall("fork")
+    assert child.pid != p.pid
+    assert child.proxy.lwk_pid == child.pid
+    assert child.address_space.resident_bytes == mib(2)
+    # COW: write in the child leaves the parent's frames alone.
+    child.address_space.cow_write(child.address_space.vmas[vma.start])
+    assert child.address_space.stats.cow_faults == 1
+    child.exit()
+    p.exit()

@@ -1,0 +1,148 @@
+"""hugeTLBfs: boot pools, overcommit, surplus accounting, cgroup charge."""
+
+import pytest
+
+from repro.errors import (
+    CgroupLimitExceeded,
+    ConfigurationError,
+    OutOfMemoryError,
+)
+from repro.kernel.buddy import BuddyAllocator
+from repro.kernel.cgroup import Cgroup
+from repro.kernel.hugetlb import HugeTlbPool
+from repro.kernel.pagetable import AARCH64_64K, PageKind
+from repro.units import mib
+
+
+def _pool(**kwargs):
+    # 512 base pages of 64 KiB = 32 MiB = room for 16 contig (2 MiB) pages.
+    buddy = BuddyAllocator(512)
+    return buddy, HugeTlbPool(AARCH64_64K, buddy, PageKind.CONTIG, **kwargs)
+
+
+def test_boot_pool_reserves_from_buddy():
+    buddy, pool = _pool(boot_pool_pages=4)
+    assert pool.stats.pool_size == 4
+    assert pool.stats.free == 4
+    assert buddy.free_pages == 512 - 4 * 32
+    assert pool.normal_pages_stolen() == 128
+
+
+def test_boot_pool_grow_stops_at_capacity():
+    buddy, pool = _pool()
+    got = pool.grow_pool(100)  # only 16 fit
+    assert got == 16
+    assert buddy.free_pages == 0
+
+
+def test_shrink_returns_free_pages():
+    buddy, pool = _pool(boot_pool_pages=4)
+    released = pool.shrink_pool(2)
+    assert released == 2
+    assert pool.stats.pool_size == 2
+    assert buddy.free_pages == 512 - 2 * 32
+
+
+def test_get_page_prefers_pool_then_surplus():
+    buddy, pool = _pool(boot_pool_pages=1, overcommit_limit=None)
+    first = pool.get_page()
+    assert pool.stats.free == 0 and pool.stats.surplus == 0
+    second = pool.get_page()
+    assert pool.stats.surplus == 1  # overcommit kicked in
+    pool.put_page(second)
+    assert pool.stats.surplus == 0
+    pool.put_page(first)
+    assert pool.stats.free == 1
+
+
+def test_overcommit_disabled_fails_after_pool():
+    # Stock default: no boot pool + overcommit 0 => hugeTLBfs unusable.
+    _, pool = _pool(boot_pool_pages=0, overcommit_limit=0)
+    with pytest.raises(OutOfMemoryError):
+        pool.get_page()
+    assert pool.stats.alloc_fail == 1
+
+
+def test_overcommit_limit_enforced():
+    _, pool = _pool(overcommit_limit=2)
+    pool.get_page()
+    pool.get_page()
+    with pytest.raises(OutOfMemoryError):
+        pool.get_page()
+
+
+def test_surplus_fails_under_fragmentation():
+    buddy, pool = _pool(overcommit_limit=None)
+    # Fragment the buddy so no order-5 block exists.
+    pins = [buddy.alloc(0) for _ in range(512)]
+    for p in pins[::2]:
+        buddy.free(p)
+    with pytest.raises(OutOfMemoryError):
+        pool.get_page()
+    assert pool.stats.alloc_fail == 1
+
+
+def test_fugaku_hook_charges_surplus_to_cgroup():
+    _, pool = _pool(overcommit_limit=None)
+    cg = Cgroup("app", cpus=[0], mems=[0], memory_limit=mib(4),
+                charge_surplus_hugetlb=True)
+    pool.get_page(cgroup=cg)  # 2 MiB surplus
+    assert cg.memory.surplus_hugetlb_bytes == mib(2)
+    pool.get_page(cgroup=cg)
+    # Third page would exceed the 4 MiB limit — the hook catches it.
+    with pytest.raises(CgroupLimitExceeded):
+        pool.get_page(cgroup=cg)
+    assert cg.memory.failcnt == 1
+    assert pool.stats.surplus == 2  # failed charge allocated nothing
+
+
+def test_stock_kernel_surplus_escapes_cgroup_limit():
+    # Without the kernel-module hook, surplus pages are NOT charged —
+    # the §4.1.3 problem Fugaku had to solve.
+    _, pool = _pool(overcommit_limit=None)
+    cg = Cgroup("app", cpus=[0], mems=[0], memory_limit=mib(4),
+                charge_surplus_hugetlb=False)
+    for _ in range(8):  # 16 MiB of surplus, 4x the limit
+        pool.get_page(cgroup=cg)
+    assert pool.stats.surplus == 8
+    assert cg.memory.failcnt == 0
+
+
+def test_put_page_uncharges_cgroup():
+    _, pool = _pool(overcommit_limit=None)
+    cg = Cgroup("app", cpus=[0], mems=[0], memory_limit=mib(4),
+                charge_surplus_hugetlb=True)
+    page = pool.get_page(cgroup=cg)
+    pool.put_page(page, cgroup=cg)
+    assert cg.memory.surplus_hugetlb_bytes == 0
+
+
+def test_pool_pages_are_regular_memcg_charges():
+    _, pool = _pool(boot_pool_pages=2)
+    cg = Cgroup("app", cpus=[0], mems=[0], memory_limit=mib(2),
+                charge_surplus_hugetlb=True)
+    page = pool.get_page(cgroup=cg)
+    assert cg.memory.usage_bytes == mib(2)
+    with pytest.raises(CgroupLimitExceeded):
+        pool.get_page(cgroup=cg)
+    assert pool.stats.free == 1  # the failed get returned it to the pool
+    pool.put_page(page, cgroup=cg)
+    assert cg.memory.usage_bytes == 0
+
+
+def test_in_use_accounting():
+    _, pool = _pool(boot_pool_pages=2, overcommit_limit=None)
+    a = pool.get_page()
+    b = pool.get_page()
+    c = pool.get_page()  # surplus
+    assert pool.in_use == 3
+    pool.put_page(c)
+    pool.put_page(b)
+    pool.put_page(a)
+    assert pool.in_use == 0
+
+
+def test_base_pages_not_allowed():
+    buddy = BuddyAllocator(64)
+    with pytest.raises(ConfigurationError):
+        HugeTlbPool(AARCH64_64K, buddy, PageKind.BASE)

@@ -1,0 +1,73 @@
+"""IRQ routing: smp_affinity semantics and the two platforms' policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel.irq import IrqDescriptor, IrqRouter, default_irq_table
+
+
+def _router():
+    r = IrqRouter(all_cpus=list(range(8)))
+    r.register(IrqDescriptor(irq=10, name="nic0", rate_hz=100.0,
+                             handler_cost=2e-6))
+    r.register(IrqDescriptor(irq=11, name="nvme", rate_hz=10.0,
+                             handler_cost=5e-6))
+    return r
+
+
+def test_default_affinity_is_all_cpus():
+    r = _router()
+    assert r.irqs[10].smp_affinity == frozenset(range(8))
+
+
+def test_rate_spreads_over_affinity_mask():
+    r = _router()
+    # Balanced: each CPU gets rate/8 from each line.
+    assert r.rate_on_cpu(3) == pytest.approx(100 / 8 + 10 / 8)
+
+
+def test_set_affinity_concentrates_load():
+    r = _router()
+    r.set_affinity(10, [0, 1])
+    assert r.rate_on_cpu(0) == pytest.approx(100 / 2 + 10 / 8)
+    assert r.rate_on_cpu(5) == pytest.approx(10 / 8)
+
+
+def test_route_all_to_assistant_cores():
+    r = _router()
+    r.route_all_to([0, 1])  # the Fugaku policy
+    for cpu in range(2, 8):
+        assert r.rate_on_cpu(cpu) == 0.0
+        assert r.load_on_cpu(cpu) == 0.0
+    assert r.rate_on_cpu(0) > 0
+
+
+def test_load_accounts_handler_cost():
+    r = _router()
+    r.set_affinity(11, [4])
+    assert r.load_on_cpu(4) == pytest.approx(10 * 5e-6 + 100 / 8 * 2e-6)
+
+
+def test_validation():
+    r = _router()
+    with pytest.raises(ConfigurationError):
+        r.set_affinity(99, [0])
+    with pytest.raises(ConfigurationError):
+        r.set_affinity(10, [])
+    with pytest.raises(ConfigurationError):
+        r.set_affinity(10, [55])
+    with pytest.raises(ConfigurationError):
+        r.register(IrqDescriptor(irq=10, name="dup", rate_hz=1,
+                                 handler_cost=1e-6))
+    with pytest.raises(ConfigurationError):
+        IrqDescriptor(irq=1, name="x", rate_hz=-1, handler_cost=1e-6)
+    with pytest.raises(ConfigurationError):
+        IrqRouter(all_cpus=[])
+
+
+def test_default_table_matches_interconnect():
+    tofu = default_irq_table(list(range(8)), "Fujitsu TofuD")
+    assert any("tofu" in d.name for d in tofu.irqs.values())
+    opa = default_irq_table(list(range(8)), "Intel OmniPath")
+    assert any("hfi1" in d.name for d in opa.irqs.values())
+    assert any("nvme" in d.name for d in opa.irqs.values())

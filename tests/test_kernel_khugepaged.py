@@ -1,0 +1,117 @@
+"""khugepaged: collapse mechanics, fragmentation failures, TLB payoff."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel.buddy import BuddyAllocator
+from repro.kernel.khugepaged import Khugepaged
+from repro.kernel.pagetable import (
+    AARCH64_64K,
+    X86_4K,
+    AddressSpace,
+    PageKind,
+    VmaKind,
+)
+from repro.units import mib
+
+
+def _space(pages=8192, geo=X86_4K):
+    return AddressSpace(geo, BuddyAllocator(pages))
+
+
+def test_collapse_merges_base_pages_into_huge():
+    space = _space()
+    vma = space.mmap(mib(4), page_kind=PageKind.BASE, prefault=True)
+    assert space.tlb_entries_needed() == 1024  # 4 MiB of 4 KiB pages
+    kd = Khugepaged(space)
+    collapses = kd.scan()
+    assert collapses == 2  # two 2 MiB huge pages
+    assert kd.stats.pages_collapsed == 1024
+    assert vma.page_kind is PageKind.HUGE
+    assert space.tlb_entries_needed() == 2  # the THP payoff
+    # Memory is conserved: same residency, same buddy usage.
+    assert space.resident_bytes == mib(4)
+    assert space.buddy.allocated_pages == 1024
+
+
+def test_scan_respects_max_collapses():
+    space = _space()
+    space.mmap(mib(4), page_kind=PageKind.BASE, prefault=True)
+    kd = Khugepaged(space)
+    assert kd.scan(max_collapses=1) == 1
+    assert kd.scan() == 1  # the remainder on the next pass
+
+
+def test_fragmentation_fails_collapse():
+    # Burn the pool so no order-9 block exists.
+    buddy = BuddyAllocator(1024)
+    space = AddressSpace(X86_4K, buddy)
+    vma = space.mmap(mib(2), page_kind=PageKind.BASE, prefault=True)
+    pins = [buddy.alloc(0) for _ in range(buddy.free_pages)]
+    for p in pins[::2]:
+        buddy.free(p)
+    kd = Khugepaged(space)
+    assert kd.scan() == 0
+    assert kd.stats.collapse_alloc_failed == 1
+    assert vma.page_kind is PageKind.BASE  # unchanged
+
+
+def test_cow_shared_memory_not_collapsed():
+    space = _space()
+    vma = space.mmap(mib(2), page_kind=PageKind.BASE, prefault=True)
+    child = space.fork()
+    kd = Khugepaged(space)
+    assert kd.scan() == 0  # shared frames are ineligible
+    child.exit()
+    # Still shared-tagged until a write makes it private.
+    space.cow_write(vma)
+    assert kd.scan() == 1
+
+
+def test_device_and_file_vmas_ineligible():
+    space = _space()
+    space.mmap(mib(2), page_kind=PageKind.BASE, prefault=True,
+               kind=VmaKind.DEVICE)
+    space.mmap(mib(2), page_kind=PageKind.BASE, prefault=True,
+               kind=VmaKind.FILE)
+    assert Khugepaged(space).scan() == 0
+
+
+def test_small_vmas_skipped():
+    space = _space()
+    space.mmap(512 * 1024, page_kind=PageKind.BASE, prefault=True)
+    assert Khugepaged(space).scan() == 0
+
+
+def test_contig_bit_target_on_aarch64():
+    space = _space(geo=AARCH64_64K)
+    space.mmap(mib(4), page_kind=PageKind.BASE, prefault=True)
+    kd = Khugepaged(space, target_kind=PageKind.CONTIG)
+    assert kd.scan() == 2  # two 2 MiB contig runs
+    # ...which is exactly the feature mainline THP does NOT implement
+    # for the contiguous bit (§4.1.3) — the model lets us ask "what if
+    # it did", the basis of the page-policy ablation.
+
+
+def test_contig_target_requires_contig_bit():
+    space = _space(geo=X86_4K)
+    with pytest.raises(ConfigurationError):
+        Khugepaged(space, target_kind=PageKind.CONTIG)
+    with pytest.raises(ConfigurationError):
+        Khugepaged(space, target_kind=PageKind.BASE)
+
+
+def test_tlb_entries_saved():
+    space = _space()
+    space.mmap(mib(4), page_kind=PageKind.BASE, prefault=True)
+    kd = Khugepaged(space)
+    kd.scan()
+    assert kd.tlb_entries_saved() == 1024 - 2
+
+
+def test_unmap_after_collapse_frees_everything():
+    space = _space()
+    vma = space.mmap(mib(4), page_kind=PageKind.BASE, prefault=True)
+    Khugepaged(space).scan()
+    space.munmap(vma)
+    assert space.buddy.free_pages == space.buddy.n_pages

@@ -1,0 +1,154 @@
+"""Address spaces, page geometries, contiguous bit, demand paging."""
+
+import pytest
+
+from repro.errors import ConfigurationError, OutOfMemoryError
+from repro.kernel.buddy import BuddyAllocator
+from repro.kernel.pagetable import (
+    AARCH64_64K,
+    AddressSpace,
+    PageGeometry,
+    PageKind,
+    VmaKind,
+    X86_4K,
+)
+from repro.units import mib
+
+
+def _aspace(pages=4096, geo=AARCH64_64K):
+    return AddressSpace(geo, BuddyAllocator(pages))
+
+
+def test_aarch64_page_sizes_match_section_4_1_3():
+    # 64 KiB base; contiguous bit -> 2 MiB; regular huge page -> 512 MiB.
+    assert AARCH64_64K.size_of(PageKind.BASE) == 64 * 1024
+    assert AARCH64_64K.size_of(PageKind.CONTIG) == 2 * 1024 * 1024
+    assert AARCH64_64K.size_of(PageKind.HUGE) == 512 * 1024 * 1024
+
+
+def test_x86_page_sizes():
+    assert X86_4K.size_of(PageKind.BASE) == 4 * 1024
+    assert X86_4K.size_of(PageKind.HUGE) == 2 * 1024 * 1024
+    with pytest.raises(ConfigurationError):
+        X86_4K.size_of(PageKind.CONTIG)  # no contiguous bit on x86
+
+
+def test_orders():
+    assert AARCH64_64K.order_of(PageKind.BASE) == 0
+    assert AARCH64_64K.order_of(PageKind.CONTIG) == 5  # 32 pages
+    assert AARCH64_64K.order_of(PageKind.HUGE) == 13
+    assert X86_4K.order_of(PageKind.HUGE) == 9
+
+
+def test_geometry_validation():
+    with pytest.raises(ConfigurationError):
+        PageGeometry(base=0, contig_factor=0, huge_factor=512)
+    with pytest.raises(ConfigurationError):
+        PageGeometry(base=4096, contig_factor=3, huge_factor=512)
+
+
+def test_mmap_rounds_to_page_size():
+    a = _aspace()
+    vma = a.mmap(100, page_kind=PageKind.BASE)
+    assert vma.length == 64 * 1024
+    vma2 = a.mmap(mib(3), page_kind=PageKind.CONTIG)
+    assert vma2.length == mib(4)
+
+
+def test_demand_paging_counts_faults():
+    a = _aspace()
+    vma = a.mmap(mib(1), page_kind=PageKind.BASE)
+    assert vma.populated_bytes == 0
+    faults = a.touch(vma, mib(1))
+    assert faults == 16  # 1 MiB / 64 KiB
+    assert a.stats.faults_by_kind[PageKind.BASE] == 16
+    assert a.stats.zeroed_bytes == mib(1)
+    # Touching again is free.
+    assert a.touch(vma, mib(1)) == 0
+
+
+def test_prefault_populates_eagerly():
+    a = _aspace()
+    vma = a.mmap(mib(2), page_kind=PageKind.CONTIG, prefault=True)
+    assert vma.populated_bytes == mib(2)
+    assert a.stats.faults_by_kind[PageKind.CONTIG] == 1
+
+
+def test_huge_fault_falls_back_to_base_under_fragmentation():
+    # Tiny pool: room for base pages but no order-5 block once we
+    # fragment it.
+    buddy = BuddyAllocator(48)
+    a = AddressSpace(AARCH64_64K, buddy)
+    pins = [buddy.alloc(0) for _ in range(48)]
+    for p in pins[::2]:
+        buddy.free(p)
+    vma = a.mmap(mib(2), page_kind=PageKind.CONTIG)
+    a.touch(vma, 64 * 1024 * 4)
+    assert a.stats.huge_fallbacks > 0
+    assert a.stats.faults_by_kind[PageKind.BASE] > 0
+
+
+def test_base_fault_oom_propagates():
+    a = _aspace(pages=4)
+    vma = a.mmap(mib(1), page_kind=PageKind.BASE)
+    with pytest.raises(OutOfMemoryError):
+        a.touch(vma, mib(1))
+
+
+def test_munmap_frees_and_counts_invalidations():
+    a = _aspace()
+    free0 = a.buddy.free_pages
+    vma = a.mmap(mib(2), page_kind=PageKind.CONTIG, prefault=True)
+    invalidated = a.munmap(vma)
+    # 2 MiB of 64 KiB translations = 32 base-page invalidations — the
+    # quantity driving §4.2.2 TLB storms.
+    assert invalidated == 32
+    assert a.buddy.free_pages == free0
+    with pytest.raises(ConfigurationError):
+        a.munmap(vma)
+
+
+def test_exit_tears_down_everything():
+    a = _aspace()
+    for _ in range(3):
+        a.mmap(mib(2), page_kind=PageKind.CONTIG, prefault=True)
+    total = a.exit()
+    assert total == 96
+    assert a.resident_bytes == 0
+    assert not a.vmas
+
+
+def test_resident_bytes_tracks_population():
+    a = _aspace()
+    vma = a.mmap(mib(1), page_kind=PageKind.BASE)
+    a.touch(vma, 300 * 1024)
+    # Rounded up to whole pages.
+    assert a.resident_bytes == 320 * 1024
+
+
+def test_tlb_entries_needed_reflects_page_size():
+    a = _aspace(pages=8192)
+    small = a.mmap(mib(2), page_kind=PageKind.BASE, prefault=True)
+    assert a.tlb_entries_needed() == 32
+    a.munmap(small)
+    a.mmap(mib(2), page_kind=PageKind.CONTIG, prefault=True)
+    assert a.tlb_entries_needed() == 1  # contiguous bit: one entry
+
+
+def test_vma_kinds_recorded():
+    a = _aspace()
+    vma = a.mmap(mib(1), kind=VmaKind.STACK)
+    assert vma.kind is VmaKind.STACK
+    assert vma.end == vma.start + vma.length
+
+
+def test_invalid_mmap():
+    a = _aspace()
+    with pytest.raises(ConfigurationError):
+        a.mmap(0)
+    with pytest.raises(ConfigurationError):
+        a.touch(
+            type(a.mmap(4096))(start=999, length=4096, kind=VmaKind.HEAP,
+                               page_kind=PageKind.BASE),
+            4096,
+        )

@@ -1,0 +1,82 @@
+"""procfs rendering of simulated kernel state."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel.procfs import _cpulist, _cpumask, read, render
+
+
+def test_cpulist_format():
+    assert _cpulist([2, 3, 4, 5, 9]) == "2-5,9"
+    assert _cpulist([0]) == "0"
+    assert _cpulist([]) == ""
+    assert _cpulist([1, 3, 5]) == "1,3,5"
+
+
+def test_cpumask_format():
+    assert _cpumask([0, 1], 8) == "03"
+    assert _cpumask([4], 8) == "10"
+    assert _cpumask(range(48), 50) == format((1 << 48) - 1, "013x")
+
+
+def test_fugaku_cmdline_has_nohz_full(fugaku_linux):
+    cmdline = read(fugaku_linux, "/proc/cmdline")
+    assert "nohz_full=2-49" in cmdline
+    assert "hugepagesz=2M" in cmdline
+
+
+def test_irq_affinity_files_point_to_assistants(fugaku_linux):
+    files = render(fugaku_linux)
+    masks = {p: v for p, v in files.items() if p.endswith("smp_affinity")}
+    assert masks
+    # All IRQs steered to CPUs 0-1: mask 0x3.
+    assert all(int(v, 16) == 0b11 for v in masks.values())
+
+
+def test_ofp_irqs_balanced(ofp_linux):
+    files = render(ofp_linux)
+    masks = [int(v, 16) for p, v in files.items()
+             if p.endswith("smp_affinity")]
+    assert all(m == (1 << 272) - 1 for m in masks)
+
+
+def test_cgroup_files_only_with_isolation(fugaku_linux, ofp_linux):
+    fug = render(fugaku_linux)
+    assert fug["/sys/fs/cgroup/app/cpuset.cpus"] == "2-49"
+    assert fug["/sys/fs/cgroup/system/cpuset.cpus"] == "0-1"
+    assert fug["/sys/fs/cgroup/app/memory.max"] != "max"
+    ofp = render(ofp_linux)
+    assert not any("cgroup" in p for p in ofp)
+
+
+def test_hugepage_counters(fugaku_linux):
+    files = render(fugaku_linux)
+    base = "/sys/kernel/mm/hugepages/hugepages-2048kB"
+    assert files[f"{base}/nr_hugepages"] == "0"  # no boot pool on Fugaku
+    assert files[f"{base}/nr_overcommit_hugepages"] == "unlimited"
+    assert files["/sys/kernel/mm/transparent_hugepage/enabled"] == "never"
+
+
+def test_thp_enabled_on_ofp(ofp_linux):
+    files = render(ofp_linux)
+    assert files["/sys/kernel/mm/transparent_hugepage/enabled"] == "always"
+    assert not any("hugepages-2048kB" in p for p in files)
+
+
+def test_interference_file_lists_visible_tasks(fugaku_linux, untuned_linux):
+    assert read(fugaku_linux, "/proc/interference").startswith("sar")
+    noisy = read(untuned_linux, "/proc/interference")
+    assert "daemons" in noisy and "tlbi-broadcast" in noisy
+
+
+def test_numa_meminfo_reflects_virtual_numa(fugaku_linux):
+    files = render(fugaku_linux)
+    roles = [v for p, v in files.items() if "meminfo" in p]
+    assert len(roles) == 8  # 4 app + 4 system virtual domains
+    assert sum("application" in r for r in roles) == 4
+    assert sum("system" in r for r in roles) == 4
+
+
+def test_missing_file_raises(fugaku_linux):
+    with pytest.raises(ConfigurationError, match="no such proc file"):
+        read(fugaku_linux, "/proc/nonexistent")

@@ -1,0 +1,134 @@
+"""Schedulers: CFS fairness + nohz_full, McKernel cooperative RR."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel.scheduler import CfsScheduler, CooperativeScheduler, SchedTask
+
+
+# --- CFS ----------------------------------------------------------------
+
+def test_cfs_picks_smallest_vruntime():
+    cfs = CfsScheduler(cpu_id=0)
+    a, b = SchedTask(1, "a"), SchedTask(2, "b")
+    cfs.enqueue(a)
+    cfs.enqueue(b)
+    assert cfs.pick_next() is a  # tie broken by id
+    cfs.account(1, 0.010)
+    assert cfs.pick_next() is b
+
+
+def test_cfs_fair_shares_converge_to_weights():
+    cfs = CfsScheduler(cpu_id=0)
+    cfs.enqueue(SchedTask(1, "heavy", weight=3.0))
+    cfs.enqueue(SchedTask(2, "light", weight=1.0))
+    got = cfs.run_slice(horizon=40.0, slice_len=0.004)
+    total = sum(got.values())
+    assert got[1] / total == pytest.approx(0.75, abs=0.02)
+    assert got[2] / total == pytest.approx(0.25, abs=0.02)
+
+
+def test_cfs_new_task_does_not_starve_queue():
+    cfs = CfsScheduler(cpu_id=0)
+    old = SchedTask(1, "old")
+    cfs.enqueue(old)
+    cfs.account(1, 5.0)
+    new = SchedTask(2, "new")
+    cfs.enqueue(new)
+    # New arrival starts at max vruntime, so the old task isn't starved.
+    assert new.vruntime == old.vruntime
+
+
+def test_cfs_dequeue_and_errors():
+    cfs = CfsScheduler(cpu_id=0)
+    t = SchedTask(1)
+    cfs.enqueue(t)
+    with pytest.raises(ConfigurationError):
+        cfs.enqueue(t)
+    assert cfs.dequeue(1) is t
+    with pytest.raises(ConfigurationError):
+        cfs.dequeue(1)
+    with pytest.raises(ConfigurationError):
+        cfs.account(1, 0.001)
+    assert cfs.pick_next() is None
+
+
+def test_nohz_full_suppresses_tick_with_single_task():
+    cfs = CfsScheduler(cpu_id=0, nohz_full=True, tick_hz=100.0)
+    assert not cfs.tick_active()  # idle: nohz-idle already stops the tick
+    cfs.enqueue(SchedTask(1))
+    assert not cfs.tick_active()
+    assert cfs.tick_rate() == 0.0
+    # A second runnable task re-enables the tick — why cgroup isolation
+    # AND nohz_full are both needed on Fugaku.
+    cfs.enqueue(SchedTask(2))
+    assert cfs.tick_active()
+    assert cfs.tick_rate() == 100.0
+
+
+def test_without_nohz_full_tick_always_on():
+    cfs = CfsScheduler(cpu_id=0, nohz_full=False)
+    cfs.enqueue(SchedTask(1))
+    assert cfs.tick_active()
+
+
+def test_negative_accounting_rejected():
+    cfs = CfsScheduler(cpu_id=0)
+    cfs.enqueue(SchedTask(1))
+    with pytest.raises(ConfigurationError):
+        cfs.account(1, -1.0)
+    with pytest.raises(ConfigurationError):
+        SchedTask(9, weight=0.0)
+
+
+# --- McKernel cooperative ------------------------------------------------
+
+def test_cooperative_never_ticks():
+    coop = CooperativeScheduler(cpu_id=0)
+    coop.enqueue(SchedTask(1))
+    coop.enqueue(SchedTask(2))
+    assert not coop.tick_active()
+    assert coop.tick_rate() == 0.0
+
+
+def test_cooperative_round_robin_on_yield():
+    coop = CooperativeScheduler(cpu_id=0)
+    tasks = [SchedTask(i) for i in range(3)]
+    for t in tasks:
+        coop.enqueue(t)
+    assert coop.current is tasks[0]
+    assert coop.yield_cpu() is tasks[1]
+    assert coop.yield_cpu() is tasks[2]
+    assert coop.yield_cpu() is tasks[0]  # wraps
+
+
+def test_cooperative_runs_to_completion_without_yield():
+    coop = CooperativeScheduler(cpu_id=0)
+    a, b = SchedTask(1), SchedTask(2)
+    coop.enqueue(a)
+    coop.enqueue(b)
+    coop.account(5.0)
+    coop.account(5.0)
+    # No preemption: all time went to the current task.
+    assert a.runtime == 10.0 and b.runtime == 0.0
+
+
+def test_cooperative_dequeue():
+    coop = CooperativeScheduler(cpu_id=0)
+    a, b = SchedTask(1), SchedTask(2)
+    coop.enqueue(a)
+    coop.enqueue(b)
+    coop.dequeue(1)
+    assert coop.current is b
+    with pytest.raises(ConfigurationError):
+        coop.dequeue(1)
+    coop.dequeue(2)
+    assert coop.current is None
+    assert coop.yield_cpu() is None
+
+
+def test_cooperative_duplicate_enqueue_rejected():
+    coop = CooperativeScheduler(cpu_id=0)
+    coop.enqueue(SchedTask(1))
+    with pytest.raises(ConfigurationError):
+        coop.enqueue(SchedTask(1))

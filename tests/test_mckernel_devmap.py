@@ -1,0 +1,97 @@
+"""Direct device mappings (§5) — setup delegated, access free."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SyscallError
+from repro.mckernel.devmap import (
+    DeviceMapper,
+    DeviceRegion,
+    delegated_access_cost,
+)
+
+
+@pytest.fixture
+def process(fugaku_mckernel):
+    return fugaku_mckernel.spawn(memory_scale=0.001)
+
+
+@pytest.fixture
+def tofu_bar():
+    return DeviceRegion(device="/dev/tofu0", offset=0, length=64 * 1024)
+
+
+def test_setup_rides_the_proxy(process, tofu_bar):
+    mapper = DeviceMapper(process)
+    before = process.delegated_calls
+    mapping, setup = mapper.map_region(tofu_bar)
+    # open + ioctl(MAP_REGION) + close were delegated.
+    assert process.delegated_calls == before + 3
+    assert setup > process.instance.partition.ikc.round_trip
+    assert mapping.lwk_va != 0
+    assert [d.name for d in process.proxy.delegations[-3:]] == \
+        ["open", "ioctl", "close"]
+
+
+def test_access_involves_no_kernel(process, tofu_bar):
+    mapper = DeviceMapper(process)
+    mapping, _ = mapper.map_region(tofu_bar)
+    delegated_before = process.delegated_calls
+    local_before = process.local_calls
+    cost = mapping.access(1000)
+    # Pure MMIO latency; zero syscalls on either kernel.
+    assert process.delegated_calls == delegated_before
+    assert process.local_calls == local_before
+    assert cost == pytest.approx(1000 * tofu_bar.access_latency)
+    assert mapping.accesses == 1000
+
+
+def test_direct_beats_delegated_by_orders_of_magnitude(process, tofu_bar):
+    mapper = DeviceMapper(process)
+    mapping, _ = mapper.map_region(tofu_bar)
+    direct = mapping.access(1)
+    delegated = delegated_access_cost(process, 1)
+    assert delegated > 20 * direct
+
+
+def test_setup_amortises(process, tofu_bar):
+    """The §5.1 trade: one delegated setup buys unlimited free accesses."""
+    mapper = DeviceMapper(process)
+    mapping, setup = mapper.map_region(tofu_bar)
+    n = 200
+    total_direct = setup + mapping.access(n)
+    total_delegated = delegated_access_cost(process, n)
+    assert total_direct < total_delegated
+
+
+def test_unmap_and_teardown(process, tofu_bar):
+    mapper = DeviceMapper(process)
+    a, _ = mapper.map_region(tofu_bar)
+    b, _ = mapper.map_region(DeviceRegion("/dev/tofu0", 1 << 16, 4096))
+    mapper.unmap(a)
+    with pytest.raises(SyscallError, match="EFAULT"):
+        a.access()
+    with pytest.raises(SyscallError, match="EINVAL"):
+        mapper.unmap(a)
+    assert mapper.teardown() == 1
+    assert not b.active
+
+
+def test_mapping_requires_live_process(fugaku_mckernel, tofu_bar):
+    p = fugaku_mckernel.spawn(memory_scale=0.001)
+    p.exit()
+    with pytest.raises(SyscallError, match="ESRCH"):
+        DeviceMapper(p).map_region(tofu_bar)
+
+
+def test_region_validation():
+    with pytest.raises(ConfigurationError):
+        DeviceRegion("/dev/x", 0, 0)
+    with pytest.raises(ConfigurationError):
+        DeviceRegion("/dev/x", -1, 4096)
+    region = DeviceRegion("/dev/x", 0, 4096)
+    mapping_args = dict(region=region, lwk_va=1, setup_cost=0.0)
+    from repro.mckernel.devmap import DeviceMapping
+
+    m = DeviceMapping(**mapping_args)
+    with pytest.raises(ConfigurationError):
+        m.access(0)

@@ -1,0 +1,148 @@
+"""IHK resource partitioning: reserve/assign/boot lifecycle."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PartitionError, ResourceError
+from repro.mckernel.ihk import (
+    Ihk,
+    MemoryReservation,
+    OsState,
+    reserve_fugaku_style,
+)
+from repro.units import gib
+
+
+@pytest.fixture
+def ihk(fugaku_machine):
+    return Ihk(fugaku_machine.node)
+
+
+def test_reserve_cpus_moves_them_from_linux(ihk):
+    app = ihk.node.topology.application_cpu_ids()
+    ihk.reserve_cpus(app)
+    assert ihk.reserved_cpus == frozenset(app)
+    assert sorted(ihk.linux_cpus()) == ihk.node.topology.assistant_cpu_ids()
+
+
+def test_cannot_reserve_same_cpu_twice(ihk):
+    ihk.reserve_cpus([5, 6])
+    with pytest.raises(PartitionError):
+        ihk.reserve_cpus([6, 7])
+
+
+def test_linux_must_keep_a_cpu(ihk):
+    all_cpus = [c.cpu_id for c in ihk.node.topology]
+    with pytest.raises(PartitionError):
+        ihk.reserve_cpus(all_cpus)
+
+
+def test_reserve_memory_bounds(ihk):
+    ihk.reserve_memory(0, gib(4))
+    assert ihk.reserved_memory(0) == gib(4)
+    ihk.reserve_memory(0, gib(4))  # cumulative, exactly the domain size
+    with pytest.raises(ResourceError):
+        ihk.reserve_memory(0, 1)
+    with pytest.raises(ConfigurationError):
+        ihk.reserve_memory(0, 0)
+    with pytest.raises(ConfigurationError):
+        ihk.reserve_memory(99, gib(1))  # unknown NUMA node
+
+
+def test_full_lifecycle(ihk):
+    ihk.reserve_cpus([10, 11, 12])
+    ihk.reserve_memory(0, gib(2))
+    part = ihk.create_os()
+    assert part.state is OsState.CREATED
+    ihk.assign(part, [10, 11],
+               [MemoryReservation(numa_node=0, size_bytes=gib(2))])
+    ihk.boot(part)
+    assert part.state is OsState.BOOTED
+    assert part.total_memory() == gib(2)
+    ihk.shutdown(part)
+    assert part.state is OsState.SHUTDOWN
+    ihk.destroy(part)
+    assert part.state is OsState.EMPTY
+
+
+def test_boot_requires_resources(ihk):
+    part = ihk.create_os()
+    with pytest.raises(PartitionError):
+        ihk.boot(part)
+
+
+def test_assign_validates_reservations(ihk):
+    part = ihk.create_os()
+    with pytest.raises(PartitionError):
+        ihk.assign(part, [10], [])  # cpu 10 not reserved
+    ihk.reserve_cpus([10])
+    with pytest.raises(PartitionError):
+        ihk.assign(part, [10],
+                   [MemoryReservation(numa_node=0, size_bytes=gib(1))])
+    with pytest.raises(PartitionError):
+        ihk.assign(part, [], [])
+
+
+def test_two_os_instances_cannot_share_cpus(ihk):
+    ihk.reserve_cpus([10, 11])
+    ihk.reserve_memory(0, gib(2))
+    res = [MemoryReservation(numa_node=0, size_bytes=gib(1))]
+    a = ihk.create_os()
+    ihk.assign(a, [10], res)
+    b = ihk.create_os()
+    with pytest.raises(PartitionError):
+        ihk.assign(b, [10], res)
+    ihk.assign(b, [11], res)  # disjoint is fine
+
+
+def test_release_refuses_cpus_of_booted_os(ihk):
+    ihk.reserve_cpus([10])
+    ihk.reserve_memory(0, gib(1))
+    part = ihk.create_os()
+    ihk.assign(part, [10], [MemoryReservation(0, gib(1))])
+    ihk.boot(part)
+    with pytest.raises(PartitionError):
+        ihk.release_cpus([10])
+    ihk.shutdown(part)
+    ihk.release_cpus([10])
+    assert ihk.reserved_cpus == frozenset()
+
+
+def test_release_unreserved_rejected(ihk):
+    with pytest.raises(PartitionError):
+        ihk.release_cpus([3])
+
+
+def test_destroy_requires_shutdown(ihk):
+    ihk.reserve_cpus([10])
+    ihk.reserve_memory(0, gib(1))
+    part = ihk.create_os()
+    ihk.assign(part, [10], [MemoryReservation(0, gib(1))])
+    ihk.boot(part)
+    with pytest.raises(PartitionError):
+        ihk.destroy(part)
+
+
+def test_reserve_fugaku_style_shape(fugaku_machine):
+    ihk = Ihk(fugaku_machine.node)
+    part = reserve_fugaku_style(ihk, memory_fraction=0.9)
+    assert part.state is OsState.BOOTED
+    assert len(part.cpus) == 48
+    # 90% of the 32 GiB, within rounding.
+    assert part.total_memory() == pytest.approx(0.9 * gib(32), rel=1e-6)
+    # Linux keeps exactly the assistant cores.
+    assert sorted(ihk.linux_cpus()) == \
+        fugaku_machine.node.topology.assistant_cpu_ids()
+
+
+def test_reserve_fugaku_style_on_knl_leaves_core0(ofp_machine):
+    ihk = Ihk(ofp_machine.node)
+    part = reserve_fugaku_style(ihk, memory_fraction=0.5)
+    # KNL has no assistant cores: Linux keeps physical core 0's threads.
+    assert len(part.cpus) == 272 - 4
+    linux_cpus = set(ihk.linux_cpus())
+    assert linux_cpus == set(ofp_machine.node.topology.siblings(0))
+
+
+def test_reserve_fugaku_style_fraction_bounds(fugaku_machine):
+    with pytest.raises(ConfigurationError):
+        reserve_fugaku_style(Ihk(fugaku_machine.node), memory_fraction=0.0)

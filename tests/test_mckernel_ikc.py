@@ -1,0 +1,73 @@
+"""IKC channels: FIFO delivery, back-pressure, DES latency."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ResourceError
+from repro.mckernel.ikc import IkcChannel, IkcPair, IkcSpec
+from repro.sim.engine import Engine
+
+
+def test_fifo_delivery():
+    ch = IkcChannel(IkcSpec())
+    ch.post("a")
+    ch.post("b")
+    assert ch.deliver().payload == "a"
+    assert ch.deliver().payload == "b"
+    assert ch.deliver() is None
+
+
+def test_sequence_numbers_monotone():
+    ch = IkcChannel(IkcSpec())
+    seqs = [ch.post(i).seq for i in range(5)]
+    assert seqs == [0, 1, 2, 3, 4]
+
+
+def test_ring_full_backpressure():
+    ch = IkcChannel(IkcSpec(ring_entries=2))
+    ch.post(1)
+    ch.post(2)
+    with pytest.raises(ResourceError):
+        ch.post(3)
+    assert ch.full_events == 1
+    ch.deliver()
+    ch.post(3)  # space again
+
+
+def test_counters():
+    ch = IkcChannel(IkcSpec())
+    ch.post(1)
+    ch.post(2)
+    ch.deliver()
+    assert ch.posted == 2 and ch.delivered == 1 and len(ch) == 1
+
+
+def test_round_trip_is_twice_one_way():
+    spec = IkcSpec(one_way_latency=1.3e-6)
+    assert spec.round_trip == pytest.approx(2.6e-6)
+    pair = IkcPair(spec)
+    assert pair.round_trip == spec.round_trip
+    assert pair.to_linux.name != pair.to_lwk.name
+
+
+def test_post_async_delivers_after_latency():
+    spec = IkcSpec(one_way_latency=2e-6)
+    ch = IkcChannel(spec)
+    eng = Engine()
+    got = []
+
+    def receiver():
+        ev = ch.post_async(eng, {"syscall": "open"})
+        msg = yield ev
+        got.append((eng.now, msg.payload))
+
+    eng.process(receiver())
+    eng.run()
+    assert got == [(2e-6, {"syscall": "open"})]
+    assert ch.delivered == 1
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        IkcSpec(one_way_latency=-1.0)
+    with pytest.raises(ConfigurationError):
+        IkcSpec(ring_entries=0)

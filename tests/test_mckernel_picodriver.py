@@ -1,0 +1,70 @@
+"""Tofu PicoDriver: STAG tables and the registration fast path."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ResourceError, SyscallError
+from repro.kernel.costmodel import LINUX_COSTS, MCKERNEL_COSTS
+from repro.mckernel.picodriver import (
+    StagTable,
+    TofuPicoDriver,
+    registration_cost_path,
+)
+from repro.units import mib
+
+
+def test_stag_ids_unique_and_lookup():
+    table = StagTable()
+    a = table.register(0x1000, 4096)
+    b = table.register(0x2000, 4096)
+    assert a.stag_id != b.stag_id
+    assert table.lookup(a.stag_id) is a
+    assert len(table) == 2
+
+
+def test_stag_table_capacity():
+    table = StagTable(capacity=2)
+    table.register(0, 1)
+    table.register(1, 1)
+    with pytest.raises(ResourceError):
+        table.register(2, 1)
+    with pytest.raises(ConfigurationError):
+        StagTable(capacity=0)
+
+
+def test_deregister_frees_slot():
+    table = StagTable(capacity=1)
+    stag = table.register(0, 4096)
+    table.deregister(stag.stag_id)
+    table.register(0, 4096)  # slot reusable
+    with pytest.raises(SyscallError, match="EINVAL"):
+        table.deregister(stag.stag_id)
+    with pytest.raises(SyscallError, match="EINVAL"):
+        table.lookup(999)
+
+
+def test_zero_length_registration_rejected():
+    with pytest.raises(SyscallError, match="EINVAL"):
+        StagTable().register(0, 0)
+
+
+def test_picodriver_accumulates_cost():
+    drv = TofuPicoDriver(MCKERNEL_COSTS)
+    stag, cost = drv.register(0x1000, mib(16))
+    assert cost > 0
+    assert drv.registrations == 1
+    assert drv.time_spent == pytest.approx(cost)
+    dereg = drv.deregister(stag)
+    assert dereg < cost  # teardown is cheaper
+    assert drv.time_spent == pytest.approx(cost + dereg)
+
+
+def test_cost_path_ordering():
+    """Linux native < McKernel delegated; PicoDriver beats both (§5.1)."""
+    n = mib(8)
+    linux = registration_cost_path(LINUX_COSTS, n, on_mckernel=False,
+                                   picodriver=False)
+    delegated = registration_cost_path(MCKERNEL_COSTS, n, on_mckernel=True,
+                                       picodriver=False)
+    pico = registration_cost_path(MCKERNEL_COSTS, n, on_mckernel=True,
+                                  picodriver=True)
+    assert pico < linux < delegated

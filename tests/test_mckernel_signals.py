@@ -1,0 +1,120 @@
+"""POSIX signals in McKernel: dispositions, masks, delivery."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.mckernel.signals import Sig, SignalState
+
+
+def test_default_terminate():
+    s = SignalState()
+    s.send(Sig.SIGTERM)
+    assert not s.alive
+    assert s.terminated_by is Sig.SIGTERM
+    assert s.delivered[-1].action == "terminate"
+
+
+def test_default_ignore_sigchld():
+    s = SignalState()
+    s.send(Sig.SIGCHLD)
+    assert s.alive
+    assert s.delivered[-1].action == "ignore"
+
+
+def test_handler_invoked():
+    s = SignalState()
+    got = []
+    s.sigaction(Sig.SIGUSR1, got.append)
+    s.send(Sig.SIGUSR1)
+    assert got == [Sig.SIGUSR1]
+    assert s.alive
+    assert s.delivered[-1].action == "handler"
+
+
+def test_reset_to_default():
+    s = SignalState()
+    s.sigaction(Sig.SIGUSR1, lambda sig: None)
+    s.sigaction(Sig.SIGUSR1, None)  # SIG_DFL
+    s.send(Sig.SIGUSR1)
+    assert not s.alive
+
+
+def test_explicit_ignore():
+    s = SignalState()
+    s.ignore(Sig.SIGTERM)
+    s.send(Sig.SIGTERM)
+    assert s.alive
+
+
+def test_sigkill_uncatchable():
+    s = SignalState()
+    with pytest.raises(SyscallError, match="EINVAL"):
+        s.sigaction(Sig.SIGKILL, lambda sig: None)
+    with pytest.raises(SyscallError, match="EINVAL"):
+        s.ignore(Sig.SIGSTOP)
+    s.block({Sig.SIGKILL})  # silently refused
+    s.send(Sig.SIGKILL)
+    assert not s.alive
+
+
+def test_blocked_signals_pend_and_coalesce():
+    s = SignalState()
+    got = []
+    s.sigaction(Sig.SIGUSR1, got.append)
+    s.block({Sig.SIGUSR1})
+    s.send(Sig.SIGUSR1)
+    s.send(Sig.SIGUSR1)  # coalesces with the pending one
+    assert got == []
+    assert Sig.SIGUSR1 in s.pending
+    s.unblock({Sig.SIGUSR1})
+    assert got == [Sig.SIGUSR1]  # delivered exactly once
+    assert not s.pending
+
+
+def test_stop_continue():
+    s = SignalState()
+    s.send(Sig.SIGSTOP)
+    assert s.stopped and s.alive
+    s.send(Sig.SIGCONT)
+    assert not s.stopped
+
+
+def test_drain_stops_on_termination():
+    s = SignalState()
+    s.block({Sig.SIGTERM, Sig.SIGUSR2})
+    s.send(Sig.SIGTERM)
+    s.send(Sig.SIGUSR2)
+    s.unblock({Sig.SIGTERM, Sig.SIGUSR2})
+    assert not s.alive
+    # Nothing delivered after the terminating signal.
+    assert s.delivered[-1].sig is Sig.SIGTERM or not s.alive
+
+
+def test_send_to_dead_process_raises():
+    s = SignalState()
+    s.send(Sig.SIGKILL)
+    with pytest.raises(SyscallError, match="ESRCH"):
+        s.send(Sig.SIGUSR1)
+
+
+def test_signals_via_mckernel_syscalls(fugaku_mckernel):
+    p = fugaku_mckernel.spawn(memory_scale=0.001)
+    got = []
+    p.syscall("rt_sigaction", int(Sig.SIGUSR1), got.append)
+    p.syscall("rt_sigprocmask", "block", [int(Sig.SIGUSR1)])
+    p.syscall("kill", int(Sig.SIGUSR1))
+    assert got == []  # blocked
+    p.syscall("rt_sigprocmask", "unblock", [int(Sig.SIGUSR1)])
+    assert got == [Sig.SIGUSR1]
+    # Signals are local syscalls: no delegation happened.
+    assert p.delegated_calls == 0
+
+
+def test_fatal_signal_tears_down_process(fugaku_mckernel):
+    p = fugaku_mckernel.spawn(memory_scale=0.001)
+    vma = p.syscall("mmap", 2 * 1024 * 1024)
+    p.address_space.touch(vma, vma.length)
+    p.syscall("kill", int(Sig.SIGTERM))
+    assert not p.alive
+    assert not p.proxy.alive  # proxy dies with its LWK twin
+    assert p.address_space.resident_bytes == 0

@@ -1,0 +1,112 @@
+"""Syscall classification and proxy-process semantics (§5)."""
+
+import pytest
+
+from repro.errors import SyscallError
+from repro.mckernel.proxy import ProxyProcess
+from repro.mckernel.syscalls import (
+    DELEGATED_EXAMPLES,
+    LOCAL_SYSCALLS,
+    is_delegated,
+    is_local,
+)
+
+
+# --- the syscall table -----------------------------------------------------
+
+def test_performance_sensitive_calls_are_local():
+    # §5: "McKernel implements memory management, it supports processes
+    # and multi-threading ... and it supports standard POSIX signaling."
+    for name in ("mmap", "munmap", "brk", "clone", "futex",
+                 "rt_sigaction", "sched_yield", "gettid"):
+        assert is_local(name), name
+
+
+def test_file_and_device_calls_are_delegated():
+    for name in ("open", "read", "write", "ioctl", "socket", "stat"):
+        assert is_delegated(name), name
+
+
+def test_local_and_delegated_are_disjoint():
+    assert not (LOCAL_SYSCALLS & DELEGATED_EXAMPLES)
+
+
+def test_unknown_names_default_to_delegation():
+    # Anything McKernel doesn't implement rides the proxy.
+    assert is_delegated("some_future_syscall")
+
+
+def test_unsupported_raises_enosys():
+    with pytest.raises(SyscallError, match="ENOSYS"):
+        is_local("uselib")
+
+
+# --- proxy process ----------------------------------------------------------
+
+@pytest.fixture
+def proxy():
+    return ProxyProcess(pid=101000, lwk_pid=1000)
+
+
+def test_std_fds_preopened(proxy):
+    assert proxy.open_fd_count == 3
+
+
+def test_open_allocates_linux_side_fds(proxy):
+    # "McKernel has no notion of file descriptors ... it simply returns
+    # the number it receives from the proxy process."
+    fd1 = proxy.sys_open("/data/a")
+    fd2 = proxy.sys_open("/data/b")
+    assert (fd1, fd2) == (3, 4)
+    assert proxy.fd_table[fd1].path == "/data/a"
+
+
+def test_file_positions_live_in_proxy(proxy):
+    fd = proxy.sys_open("/data/a", "w")
+    proxy.sys_write(fd, 100)
+    proxy.sys_write(fd, 50)
+    assert proxy.fd_table[fd].position == 150
+    assert proxy.fd_table[fd].size == 150
+    proxy.sys_lseek(fd, 0)
+    assert proxy.sys_read(fd, 1000) == 150  # EOF-limited
+    assert proxy.sys_read(fd, 10) == 0
+
+
+def test_close_frees_fd(proxy):
+    fd = proxy.sys_open("/x")
+    proxy.sys_close(fd)
+    with pytest.raises(SyscallError, match="EBADF"):
+        proxy.sys_write(fd, 1)
+
+
+def test_bad_fd_and_args(proxy):
+    with pytest.raises(SyscallError, match="EBADF"):
+        proxy.sys_close(42)
+    with pytest.raises(SyscallError, match="ENOENT"):
+        proxy.sys_open("")
+    fd = proxy.sys_open("/x")
+    with pytest.raises(SyscallError, match="EINVAL"):
+        proxy.sys_write(fd, -1)
+    with pytest.raises(SyscallError, match="EINVAL"):
+        proxy.sys_lseek(fd, -1)
+
+
+def test_ioctl_audited(proxy):
+    fd = proxy.sys_open("/dev/tofu")
+    proxy.sys_ioctl(fd, "TOFU_REG_STAG", {"len": 4096})
+    names = [d.name for d in proxy.delegations]
+    assert names == ["open", "ioctl"]
+
+
+def test_exit_makes_proxy_unusable(proxy):
+    proxy.exit()
+    assert not proxy.alive
+    with pytest.raises(SyscallError, match="ESRCH"):
+        proxy.sys_open("/x")
+    assert proxy.open_fd_count == 0
+
+
+def test_delegation_audit_records_results(proxy):
+    fd = proxy.sys_open("/a")
+    rec = proxy.delegations[-1]
+    assert rec.name == "open" and rec.result == fd

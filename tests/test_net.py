@@ -1,0 +1,167 @@
+"""Fabrics, collectives, RDMA registration paths."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.collectives import CollectiveModel
+from repro.net.fabric import OMNI_PATH, TOFU_D, FabricSpec, fabric_for
+from repro.net.rdma import (
+    pin_granularity,
+    register_many,
+    registration_time,
+)
+from repro.units import mib
+
+
+# --- fabrics -----------------------------------------------------------
+
+def test_fabric_lookup():
+    assert fabric_for("Fujitsu TofuD") is TOFU_D
+    assert fabric_for("Intel OmniPath") is OMNI_PATH
+    with pytest.raises(ConfigurationError):
+        fabric_for("Infiniband HDR")
+
+
+def test_torus_diameter_grows_slowly():
+    assert TOFU_D.diameter_hops(1) == 0
+    d_small = TOFU_D.diameter_hops(64)
+    d_large = TOFU_D.diameter_hops(158976)
+    assert 0 < d_small < d_large
+    assert d_large < 100  # 6D torus: shallow even at full scale
+
+
+def test_fattree_diameter_is_logarithmic():
+    assert OMNI_PATH.diameter_hops(32) == 2
+    assert OMNI_PATH.diameter_hops(1024) == 4
+    assert OMNI_PATH.diameter_hops(8192) <= 6
+
+
+def test_p2p_includes_bandwidth_term():
+    small = TOFU_D.point_to_point(1024, 0)
+    large = TOFU_D.point_to_point(1024, mib(1))
+    assert large - small == pytest.approx(mib(1) / TOFU_D.link_bandwidth)
+
+
+def test_fabric_validation():
+    with pytest.raises(ConfigurationError):
+        FabricSpec(name="x", hop_latency=0.0, injection_overhead=0,
+                   link_bandwidth=1e9, topology="torus6d")
+    with pytest.raises(ConfigurationError):
+        FabricSpec(name="x", hop_latency=1e-6, injection_overhead=0,
+                   link_bandwidth=1e9, topology="hypercube")
+    with pytest.raises(ConfigurationError):
+        TOFU_D.diameter_hops(0)
+    with pytest.raises(ConfigurationError):
+        TOFU_D.point_to_point(8, -1)
+
+
+# --- collectives -------------------------------------------------------------
+
+def test_barrier_scales_logarithmically():
+    b64 = CollectiveModel(TOFU_D, 64, 4).barrier()
+    b8k = CollectiveModel(TOFU_D, 8192, 4).barrier()
+    assert b64 < b8k
+    assert b8k < 10 * b64  # log-ish, not linear
+
+
+def test_tofu_hw_collectives_cheaper():
+    tofu = CollectiveModel(TOFU_D, 1024, 4).barrier()
+    # Same geometry on a fabric identical except no HW collectives.
+    from dataclasses import replace
+
+    sw_fabric = replace(TOFU_D, hw_collectives=False)
+    sw = CollectiveModel(sw_fabric, 1024, 4).barrier()
+    assert tofu < sw
+
+
+def test_allreduce_adds_bandwidth_term():
+    m = CollectiveModel(TOFU_D, 1024, 4)
+    assert m.allreduce(mib(1)) - m.allreduce(0) == pytest.approx(
+        2 * mib(1) / TOFU_D.link_bandwidth)
+    assert m.allreduce(0) == pytest.approx(m.barrier())
+
+
+def test_halo_exchange_overlaps():
+    m = CollectiveModel(TOFU_D, 1024, 4)
+    h = m.halo_exchange(mib(1), neighbours=6)
+    assert h < 6 * m.halo_exchange(mib(1), neighbours=1)
+
+
+def test_cost_dispatch():
+    m = CollectiveModel(TOFU_D, 64, 4)
+    assert m.cost("barrier", 0) == m.barrier()
+    assert m.cost("allreduce", 1024) == m.allreduce(1024)
+    assert m.cost("halo", 1024) == m.halo_exchange(1024)
+    assert m.cost("halo+allreduce", 1024) > m.halo_exchange(1024)
+    with pytest.raises(ConfigurationError):
+        m.cost("alltoall", 1024)
+
+
+def test_collective_validation():
+    with pytest.raises(ConfigurationError):
+        CollectiveModel(TOFU_D, 0, 4)
+    m = CollectiveModel(TOFU_D, 4, 4)
+    with pytest.raises(ConfigurationError):
+        m.allreduce(-1)
+    with pytest.raises(ConfigurationError):
+        m.halo_exchange(10, neighbours=0)
+
+
+# --- RDMA registration ------------------------------------------------------
+
+def test_pin_granularity_per_configuration(
+        ofp_linux, fugaku_linux, fugaku_mckernel):
+    # OFP THP: compound 2 MiB pages pin as units.
+    assert pin_granularity(ofp_linux) == 2 * 1024 * 1024
+    # Fugaku hugeTLBfs contig-bit: the PTEs are 64 KiB — slow pinning.
+    assert pin_granularity(fugaku_linux) == 64 * 1024
+    # McKernel delegated path: the Linux driver GUPs the proxy mapping
+    # at base granularity (the fast path skips pinning entirely).
+    assert pin_granularity(fugaku_mckernel) == 64 * 1024
+
+
+def test_picodriver_registration_is_orders_faster(
+        fugaku_linux, fugaku_mckernel):
+    size = mib(16)
+    linux = registration_time(fugaku_linux, size)
+    pico = registration_time(fugaku_mckernel, size)
+    assert pico < linux / 50  # the §5.1 motivation
+
+
+def test_delegated_registration_worse_than_linux(fugaku_machine,
+                                                 fugaku_linux):
+    from repro.mckernel.lwk import boot_mckernel
+
+    no_pico = boot_mckernel(fugaku_machine.node, picodriver=False)
+    # Delegation adds the IKC round trip on top of the identical
+    # Linux-side driver work: strictly worse at every size.
+    for size in (64 * 1024, mib(16)):
+        assert registration_time(no_pico, size) > \
+            registration_time(fugaku_linux, size)
+
+
+def test_ofp_linux_registration_cheap_thanks_to_thp(ofp_linux,
+                                                    fugaku_linux):
+    size = mib(16)
+    # Same volume: OFP pins 8 compound pages, Fugaku walks 256 PTEs.
+    assert registration_time(ofp_linux, size) < \
+        registration_time(fugaku_linux, size)
+
+
+def test_register_many_totals(fugaku_linux):
+    stats = register_many(fugaku_linux, count=10, bytes_each=mib(1))
+    assert stats.count == 10
+    assert stats.total_bytes == mib(10)
+    assert stats.total_time == pytest.approx(
+        10 * registration_time(fugaku_linux, mib(1)))
+    assert stats.mean_time == pytest.approx(
+        registration_time(fugaku_linux, mib(1)))
+    empty = register_many(fugaku_linux, count=0, bytes_each=mib(1))
+    assert empty.total_time == 0.0 and empty.mean_time == 0.0
+
+
+def test_registration_validation(fugaku_linux):
+    with pytest.raises(ConfigurationError):
+        registration_time(fugaku_linux, 0)
+    with pytest.raises(ConfigurationError):
+        register_many(fugaku_linux, count=-1, bytes_each=1)

@@ -1,0 +1,133 @@
+"""The DES-backed MPI layer: barriers, allreduce, bcast."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.collectives import CollectiveModel
+from repro.net.fabric import TOFU_D
+from repro.net.mpi import Communicator
+from repro.sim.engine import Engine
+
+
+def test_barrier_waits_for_slowest():
+    eng = Engine()
+    comm = Communicator(eng, 3)
+    exits = {}
+
+    def rank(r, delay):
+        yield eng.timeout(delay)
+        yield from comm.barrier(r)
+        exits[r] = eng.now
+
+    eng.process(rank(0, 1.0))
+    eng.process(rank(1, 5.0))
+    eng.process(rank(2, 2.0))
+    eng.run()
+    # Everyone leaves when the slowest (5.0) arrives.
+    assert exits == {0: 5.0, 1: 5.0, 2: 5.0}
+    assert comm.generation == 1
+
+
+def test_repeated_barriers_advance_generations():
+    eng = Engine()
+    comm = Communicator(eng, 2)
+    trace = []
+
+    def rank(r):
+        for it in range(3):
+            yield eng.timeout(1.0 + r)
+            yield from comm.barrier(r)
+            trace.append((it, r, eng.now))
+
+    eng.process(rank(0))
+    eng.process(rank(1))
+    eng.run()
+    assert comm.generation == 3
+    # Each iteration gated by the slower rank (2.0 per iteration).
+    times = sorted({t for (_, _, t) in trace})
+    assert times == [2.0, 4.0, 6.0]
+
+
+def test_allreduce_combines_values():
+    eng = Engine()
+    comm = Communicator(eng, 4)
+    results = {}
+
+    def rank(r):
+        total = yield from comm.allreduce(r, float(r + 1))
+        results[r] = total
+
+    for r in range(4):
+        eng.process(rank(r))
+    eng.run()
+    assert all(v == 10.0 for v in results.values())
+
+
+def test_allreduce_custom_op():
+    eng = Engine()
+    comm = Communicator(eng, 3)
+    results = {}
+
+    def rank(r):
+        m = yield from comm.allreduce(r, r, op=max)
+        results[r] = m
+
+    for r in range(3):
+        eng.process(rank(r))
+    eng.run()
+    assert all(v == 2 for v in results.values())
+
+
+def test_bcast_delivers_roots_value():
+    eng = Engine()
+    comm = Communicator(eng, 3)
+    results = {}
+
+    def rank(r):
+        value = "payload" if r == 1 else None
+        got = yield from comm.bcast(r, value, root=1)
+        results[r] = got
+
+    for r in range(3):
+        eng.process(rank(r))
+    eng.run()
+    assert all(v == "payload" for v in results.values())
+
+
+def test_collective_latency_charged():
+    eng = Engine()
+    model = CollectiveModel(TOFU_D, 1024, 4)
+    comm = Communicator(eng, 2, cost_model=model)
+    exits = []
+
+    def rank(r):
+        yield from comm.barrier(r)
+        exits.append(eng.now)
+
+    eng.process(rank(0))
+    eng.process(rank(1))
+    eng.run()
+    assert exits[0] == pytest.approx(model.barrier())
+
+
+def test_double_entry_detected():
+    eng = Engine()
+    comm = Communicator(eng, 2)
+
+    def buggy():
+        comm._arrive(0, None)
+        comm._arrive(0, None)  # same rank again in one generation
+        yield eng.timeout(0)
+
+    eng.process(buggy())
+    with pytest.raises(SimulationError, match="twice"):
+        eng.run()
+
+
+def test_rank_bounds():
+    eng = Engine()
+    comm = Communicator(eng, 2)
+    with pytest.raises(ConfigurationError):
+        comm._arrive(5, None)
+    with pytest.raises(ConfigurationError):
+        Communicator(eng, 0)

@@ -1,0 +1,129 @@
+"""Noise injection and FTQ spectral analysis."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fwq import run_ftq
+from repro.errors import ConfigurationError
+from repro.noise.injection import (
+    InjectionSpec,
+    inject_and_measure,
+    sensitivity_sweep,
+)
+from repro.noise.source import NoiseSource, Occurrence
+from repro.noise.spectral import find_periodic_noise, noise_spectrum
+from repro.sim.distributions import Fixed
+from repro.units import ms, us
+
+
+# --- injection ------------------------------------------------------------
+
+def test_injection_spec_validation():
+    with pytest.raises(ConfigurationError):
+        InjectionSpec(length=0.0, interval=1.0)
+    with pytest.raises(ConfigurationError):
+        InjectionSpec(length=2.0, interval=1.0)  # longer than its period
+    spec = InjectionSpec(length=ms(1), interval=500.0)
+    assert spec.duty_cycle == pytest.approx(2e-6)
+    assert "injected" in spec.as_source().name
+
+
+def test_injection_measures_paper_example(rng):
+    # The §2 example measured by injection rather than closed form.
+    point = inject_and_measure(
+        InjectionSpec(length=ms(1), interval=500.0),
+        sync_interval=us(250), n_threads=100_000, rng=rng,
+        n_intervals=4000,
+    )
+    assert point.eq1_estimate == pytest.approx(0.20, abs=0.01)
+    assert point.measured_slowdown == pytest.approx(
+        point.eq1_estimate, rel=0.15)
+
+
+def test_injection_on_top_of_ambient_subtracts_baseline(rng):
+    ambient = [NoiseSource("bg", interval=1.0, duration=Fixed(us(50)))]
+    spec = InjectionSpec(length=ms(2), interval=60.0)
+    with_ambient = inject_and_measure(spec, 5e-3, 50_000, rng,
+                                      ambient=ambient)
+    clean = inject_and_measure(spec, 5e-3, 50_000, rng)
+    # The ambient baseline is subtracted: both measure the injection.
+    assert with_ambient.measured_slowdown == pytest.approx(
+        clean.measured_slowdown, rel=0.4)
+
+
+def test_sensitivity_sweep_monotone_in_length(rng):
+    points = sensitivity_sweep(
+        lengths=[us(10), us(100), ms(1)],
+        interval=10.0, sync_interval=ms(1), n_threads=100_000, rng=rng,
+    )
+    slows = [p.measured_slowdown for p in points]
+    assert slows[0] < slows[1] < slows[2]
+    # At saturation (hit probability ~1) the slowdown is ~L/S.
+    assert slows[2] == pytest.approx(1.0, rel=0.1)
+
+
+def test_small_n_absorbs_noise(rng):
+    # With few threads the same signature rarely hits: absorbed.
+    point = inject_and_measure(
+        InjectionSpec(length=ms(1), interval=500.0),
+        sync_interval=us(250), n_threads=4, rng=rng, n_intervals=4000,
+    )
+    assert point.absorbed
+
+
+# --- spectral --------------------------------------------------------------
+
+def _ftq_with(sources, rng, duration=40.0):
+    return run_ftq(sources, rng, window=1e-3, duration=duration)
+
+
+def test_detects_single_fundamental(rng):
+    src = NoiseSource("p", interval=0.1, duration=Fixed(us(150)),
+                      occurrence=Occurrence.PERIODIC)
+    peaks = find_periodic_noise(_ftq_with([src], rng), threshold=50.0)
+    assert peaks
+    assert peaks[0].frequency_hz == pytest.approx(10.0, abs=0.2)
+    assert peaks[0].period_s == pytest.approx(0.1, rel=0.05)
+
+
+def test_detects_two_fundamentals_not_harmonics(rng):
+    a = NoiseSource("a", interval=0.25, duration=Fixed(us(100)),
+                    occurrence=Occurrence.PERIODIC)   # 4 Hz
+    b = NoiseSource("b", interval=0.1, duration=Fixed(us(140)),
+                    occurrence=Occurrence.PERIODIC)   # 10 Hz
+    peaks = find_periodic_noise(_ftq_with([a, b], rng), threshold=50.0)
+    freqs = sorted(p.frequency_hz for p in peaks)
+    assert freqs[0] == pytest.approx(4.0, abs=0.2)
+    assert any(abs(f - 10.0) < 0.2 for f in freqs)
+    # No bare harmonics of 4 Hz reported (8 Hz would be one).
+    assert not any(abs(f - 8.0) < 0.2 for f in freqs)
+
+
+def test_poisson_noise_has_no_lines(rng):
+    src = NoiseSource("poisson", interval=0.05, duration=Fixed(us(100)))
+    peaks = find_periodic_noise(_ftq_with([src], rng), threshold=50.0)
+    assert peaks == []
+
+
+def test_clean_trace_yields_nothing(rng):
+    peaks = find_periodic_noise(_ftq_with([], rng, duration=1.0))
+    assert peaks == []
+
+
+def test_spectrum_shape(rng):
+    ftq = _ftq_with([], rng, duration=1.0)
+    freqs, power = noise_spectrum(ftq)
+    assert len(freqs) == len(power)
+    assert freqs[0] > 0  # DC removed
+    assert freqs[-1] <= 0.5 / ftq.window + 1e-9  # Nyquist
+
+
+def test_spectral_validation(rng):
+    ftq = _ftq_with([], rng, duration=1.0)
+    with pytest.raises(ConfigurationError):
+        find_periodic_noise(ftq, threshold=1.0)
+    from repro.apps.fwq import FtqResult
+
+    tiny = FtqResult(window=1e-3, work_units=np.ones(4))
+    with pytest.raises(ConfigurationError):
+        noise_spectrum(tiny)

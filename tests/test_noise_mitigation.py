@@ -1,0 +1,47 @@
+"""Countermeasure sweep machinery behind Table 2 / Figure 3."""
+
+import pytest
+
+from repro.kernel.tuning import Countermeasure, fugaku_production
+from repro.noise.mitigation import (
+    TABLE2_PAPER,
+    TABLE2_ROWS,
+    countermeasure_sweep,
+)
+
+
+def test_rows_match_papers_table():
+    assert list(TABLE2_ROWS) == [
+        "None",
+        "Daemon process",
+        "Unbound kworker tasks",
+        "blk-mq worker tasks",
+        "PMU counter reads",
+        "CPU-global flush instruction",
+    ]
+    assert set(TABLE2_PAPER) == set(TABLE2_ROWS)
+
+
+def test_paper_reference_values_pinned():
+    assert TABLE2_PAPER["None"] == (50.44, 3.79e-6)
+    assert TABLE2_PAPER["Daemon process"] == (20346.98, 9.94e-4)
+    assert TABLE2_PAPER["CPU-global flush instruction"] == (90.2, 3.87e-6)
+
+
+def test_sweep_baseline_is_base_config():
+    base = fugaku_production()
+    sweep = countermeasure_sweep(base)
+    assert sweep["None"] is base
+
+
+def test_sweep_disables_exactly_one_each():
+    base = fugaku_production()
+    sweep = countermeasure_sweep(base)
+    for label, cm in TABLE2_ROWS.items():
+        if cm is None:
+            continue
+        tuning = sweep[label]
+        assert not tuning.countermeasure_enabled(cm)
+        for other in Countermeasure:
+            if other is not cm:
+                assert tuning.countermeasure_enabled(other), (label, other)

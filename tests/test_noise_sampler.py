@@ -1,0 +1,144 @@
+"""FWQ sampler and the N-thread barrier-delay sampler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noise.analytic import eq1_delay, groups_from_sources
+from repro.noise.sampler import (
+    BarrierDelaySampler,
+    fwq_iteration_lengths,
+    multi_core_fwq,
+    worst_nodes,
+)
+from repro.noise.source import NoiseSource, Occurrence
+from repro.sim.distributions import Fixed, TruncatedExponential
+from repro.units import ms, us
+
+
+def _sar():
+    return NoiseSource("sar", interval=10.0,
+                       duration=TruncatedExponential(scale=us(38),
+                                                     cap=us(50.44)))
+
+
+def test_fwq_baseline_is_quantum():
+    lengths = fwq_iteration_lengths([], 6.5e-3, 100,
+                                    np.random.default_rng(0))
+    assert np.all(lengths == 6.5e-3)
+
+
+def test_fwq_noise_rate_converges_to_duty_cycle(rng):
+    src = _sar()
+    lengths = fwq_iteration_lengths([src], 6.5e-3, 800_000, rng)
+    t_min = lengths.min()
+    rate = ((lengths - t_min) / t_min).mean()
+    assert rate == pytest.approx(src.duty_cycle, rel=0.1)
+
+
+def test_fwq_total_noise_equals_event_durations(rng):
+    # Conservation: total extra time == the sum of all event durations.
+    src = NoiseSource("x", interval=0.05, duration=Fixed(us(100)))
+    n_iter = 20_000
+    lengths = fwq_iteration_lengths([src], 6.5e-3, n_iter, rng)
+    extra = lengths.sum() - n_iter * 6.5e-3
+    n_events = round(extra / us(100))
+    assert extra == pytest.approx(n_events * us(100), rel=1e-9)
+    assert n_events == pytest.approx(n_iter * 6.5e-3 / 0.05, rel=0.15)
+
+
+def test_fwq_validation(rng):
+    with pytest.raises(ConfigurationError):
+        fwq_iteration_lengths([], 0.0, 10, rng)
+    with pytest.raises(ConfigurationError):
+        fwq_iteration_lengths([], 1.0, 0, rng)
+
+
+def test_multi_core_shapes_and_independence(rng):
+    dense = NoiseSource("dense", interval=0.02, duration=Fixed(us(40)))
+    out = multi_core_fwq([dense], 6.5e-3, 500, 4, rng)
+    assert out.shape == (4, 500)
+    assert not np.array_equal(out[0], out[1])
+    with pytest.raises(ConfigurationError):
+        multi_core_fwq([], 6.5e-3, 10, 0, rng)
+
+
+def test_worst_nodes_selection():
+    data = np.full((10, 100), 6.5e-3)
+    data[3] += 1e-3  # noisiest
+    data[7] += 5e-4
+    kept = worst_nodes(data, keep=2)
+    assert kept.shape == (2, 100)
+    totals = sorted(kept.sum(axis=1), reverse=True)
+    assert totals[0] == pytest.approx(data[3].sum())
+    assert totals[1] == pytest.approx(data[7].sum())
+    # keep > nodes is clamped
+    assert worst_nodes(data, keep=100).shape == (10, 100)
+    with pytest.raises(ConfigurationError):
+        worst_nodes(data.ravel(), keep=1)
+    with pytest.raises(ConfigurationError):
+        worst_nodes(data, keep=0)
+
+
+# --- barrier delay sampler -------------------------------------------------
+
+def test_barrier_delay_zero_without_hits(rng):
+    src = NoiseSource("rare", interval=1e9, duration=Fixed(ms(1)))
+    sampler = BarrierDelaySampler([src], sync_interval=1e-3, n_threads=10)
+    assert sampler.sample(100, rng).sum() == 0.0
+
+
+def test_barrier_delay_grows_with_thread_count(rng):
+    src = _sar()
+    small = BarrierDelaySampler([src], 5e-3, 1_000)
+    large = BarrierDelaySampler([src], 5e-3, 2_000_000)
+    assert large.mean_delay(400, rng) > small.mean_delay(400, rng)
+
+
+def test_barrier_delay_saturates_near_max_length(rng):
+    src = _sar()
+    huge = BarrierDelaySampler([src], 5e-3, 50_000_000)
+    mean = huge.mean_delay(200, rng)
+    # With enormous N every interval sees a near-max event.
+    assert mean == pytest.approx(us(50.44), rel=0.1)
+
+
+def test_barrier_delay_tracks_eq1_estimate(rng):
+    """The sampled slowdown should be of the same order as the Eq. 1
+    upper-bound estimate (Eq. 1 uses the max length, so it bounds)."""
+    src = _sar()
+    sync = 5e-3
+    n = 400_000
+    sampler = BarrierDelaySampler([src], sync, n)
+    sampled = sampler.expected_slowdown(2_000, rng)
+    bound = eq1_delay(groups_from_sources([src]), sync, n)
+    assert sampled <= bound * 1.05
+    assert sampled > bound * 0.2  # same order of magnitude
+
+
+def test_periodic_source_hits_every_interval(rng):
+    tick = NoiseSource("tick", interval=1e-3, duration=Fixed(us(2.5)),
+                       occurrence=Occurrence.PERIODIC)
+    sampler = BarrierDelaySampler([tick], sync_interval=5e-3, n_threads=8)
+    delays = sampler.sample(50, rng)
+    assert np.all(delays >= us(2.5) - 1e-12)
+
+
+def test_sources_add_at_barrier(rng):
+    a = NoiseSource("a", interval=1e-4, duration=Fixed(us(10)))
+    b = NoiseSource("b", interval=1e-4, duration=Fixed(us(20)))
+    sampler = BarrierDelaySampler([a, b], sync_interval=1e-2,
+                                  n_threads=1000)
+    delays = sampler.sample(50, rng)
+    # Both sources hit with certainty at this rate: delays stack.
+    assert np.all(delays >= us(30) - 1e-12)
+
+
+def test_sampler_validation(rng):
+    with pytest.raises(ConfigurationError):
+        BarrierDelaySampler([], sync_interval=0.0, n_threads=1)
+    with pytest.raises(ConfigurationError):
+        BarrierDelaySampler([], sync_interval=1.0, n_threads=0)
+    sampler = BarrierDelaySampler([_sar()], 1e-3, 10)
+    with pytest.raises(ConfigurationError):
+        sampler.sample(0, rng)

@@ -1,0 +1,129 @@
+"""Noise sources and the per-OS catalogue."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel.linux import LinuxKernel
+from repro.kernel.tuning import fugaku_production, untuned
+from repro.noise.catalog import (
+    churn_compaction_source,
+    hw_contention_source,
+    khugepaged_source,
+    noise_sources_for,
+    straggler_source,
+    total_duty_cycle,
+)
+from repro.noise.source import NoiseSource, Occurrence, irq_source, tick_source
+from repro.sim.distributions import Fixed
+from repro.units import mib
+
+
+def test_duty_cycle_definition():
+    src = NoiseSource("x", interval=10.0, duration=Fixed(1e-3))
+    assert src.duty_cycle == pytest.approx(1e-4)
+    assert src.max_length == 1e-3
+
+
+def test_periodic_events_are_evenly_spaced(rng):
+    src = NoiseSource("tick", interval=0.01, duration=Fixed(2.5e-6),
+                      occurrence=Occurrence.PERIODIC)
+    starts, durations = src.sample_events(1.0, rng)
+    assert len(starts) == pytest.approx(100, abs=1)
+    assert np.allclose(np.diff(starts), 0.01)
+    assert np.all(durations == 2.5e-6)
+
+
+def test_poisson_event_count_matches_rate(rng):
+    src = NoiseSource("d", interval=0.5, duration=Fixed(1e-6))
+    counts = [len(src.sample_events(100.0, rng)[0]) for _ in range(30)]
+    assert np.mean(counts) == pytest.approx(200, rel=0.1)
+
+
+def test_events_sorted_within_horizon(rng):
+    src = NoiseSource("d", interval=0.01, duration=Fixed(1e-6))
+    starts, _ = src.sample_events(5.0, rng)
+    assert np.all(np.diff(starts) >= 0)
+    assert starts.min() >= 0 and starts.max() < 5.0
+
+
+def test_tick_and_irq_helpers():
+    tick = tick_source(100.0)
+    assert tick.occurrence is Occurrence.PERIODIC
+    assert tick.interval == pytest.approx(0.01)
+    irq = irq_source(rate_hz=250.0, handler_cost=3e-6)
+    assert irq.occurrence is Occurrence.POISSON
+    with pytest.raises(ConfigurationError):
+        tick_source(0)
+    with pytest.raises(ConfigurationError):
+        irq_source(0, 1e-6)
+
+
+def test_source_validation(rng):
+    with pytest.raises(ConfigurationError):
+        NoiseSource("x", interval=0.0, duration=Fixed(1e-6))
+    src = NoiseSource("x", interval=1.0, duration=Fixed(1e-6))
+    with pytest.raises(ConfigurationError):
+        src.sample_events(0.0, rng)
+
+
+# --- catalogue lowering ------------------------------------------------------
+
+def test_tuned_fugaku_catalogue_is_minimal(fugaku_linux):
+    names = {s.name for s in noise_sources_for(fugaku_linux,
+                                               include_stragglers=False)}
+    assert names == {"sar"}
+
+
+def test_untuned_fugaku_catalogue_is_noisy(untuned_linux):
+    names = {s.name for s in noise_sources_for(untuned_linux,
+                                               include_stragglers=False)}
+    # tick present (no nohz_full), all tasks, IRQ load (not routed away).
+    assert {"daemons", "kworker", "timer-tick", "device-irq"} <= names
+
+
+def test_ofp_catalogue_has_thp_and_irq_noise(ofp_linux):
+    names = {s.name for s in noise_sources_for(ofp_linux)}
+    assert "khugepaged" in names
+    assert "device-irq" in names
+    assert "node-straggler" in names
+    assert "pmu-read" not in names
+
+
+def test_mckernel_catalogue_is_hw_contention_only(fugaku_mckernel):
+    sources = noise_sources_for(fugaku_mckernel)
+    assert [s.name for s in sources] == ["hw-contention"]
+    assert sources[0].duty_cycle < 1e-6
+
+
+def test_straggler_duty_negligible():
+    for scale in ("fugaku", "ofp"):
+        assert straggler_source(scale).duty_cycle < 5e-8
+
+
+def test_straggler_fugaku_cap_supports_fig4_tail():
+    # Fig. 4b's largest full-scale FWQ iteration is ~10 ms against the
+    # 6.5 ms quantum, i.e. ~3.5 ms of noise — the straggler cap.
+    assert straggler_source("fugaku").max_length == pytest.approx(3.6e-3)
+
+
+def test_churn_compaction_scales_with_churn():
+    light = churn_compaction_source(mib(4))
+    heavy = churn_compaction_source(mib(16))
+    assert heavy.interval < light.interval
+    assert heavy.duty_cycle > light.duty_cycle
+    with pytest.raises(ValueError):
+        churn_compaction_source(0)
+
+
+def test_total_duty_cycle_sums():
+    a = NoiseSource("a", interval=1.0, duration=Fixed(1e-6))
+    b = NoiseSource("b", interval=2.0, duration=Fixed(1e-6))
+    assert total_duty_cycle([a, b]) == pytest.approx(1.5e-6)
+
+
+def test_khugepaged_and_hw_contention_shapes():
+    k = khugepaged_source()
+    assert k.max_length == pytest.approx(17.5e-3)
+    h = hw_contention_source()
+    assert h.max_length <= 500e-6  # keeps McKernel tails < 7 ms total

@@ -1,0 +1,129 @@
+"""Hypothesis property tests across the memory subsystem.
+
+The central invariant: no sequence of mmap / touch / munmap / fork /
+cow_write / exit operations can leak or double-free physical pages —
+the buddy allocator's free count always equals total minus live
+(reference-counted) usage, and after all spaces exit everything is free
+and coalesced.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OutOfMemoryError
+from repro.kernel.buddy import BuddyAllocator
+from repro.kernel.pagetable import AARCH64_64K, AddressSpace, PageKind
+from repro.units import mib
+
+
+class MemoryMachine:
+    """Driver applying random operations to a family of address spaces."""
+
+    def __init__(self, n_pages: int = 4096) -> None:
+        self.buddy = BuddyAllocator(n_pages)
+        self.spaces: list[AddressSpace] = [
+            AddressSpace(AARCH64_64K, self.buddy)
+        ]
+
+    def apply(self, op: tuple) -> None:
+        kind = op[0]
+        space = self.spaces[op[1] % len(self.spaces)]
+        try:
+            if kind == "mmap":
+                size = (op[2] % 8 + 1) * 64 * 1024
+                page_kind = PageKind.CONTIG if op[2] % 3 == 0 else PageKind.BASE
+                space.mmap(size, page_kind=page_kind,
+                           prefault=bool(op[2] % 2))
+            elif kind == "touch" and space.vmas:
+                vma = list(space.vmas.values())[op[2] % len(space.vmas)]
+                space.touch(vma, op[2] % vma.length + 1)
+            elif kind == "munmap" and space.vmas:
+                vma = list(space.vmas.values())[op[2] % len(space.vmas)]
+                space.munmap(vma)
+            elif kind == "fork" and len(self.spaces) < 6:
+                self.spaces.append(space.fork())
+            elif kind == "cow" and space.vmas:
+                vma = list(space.vmas.values())[op[2] % len(space.vmas)]
+                space.cow_write(vma)
+            elif kind == "exit" and len(self.spaces) > 1:
+                space.exit()
+                self.spaces.remove(space)
+        except OutOfMemoryError:
+            pass  # legal under memory pressure
+
+    def live_pages(self) -> int:
+        """Base pages referenced by at least one space (shared counted
+        once, via frame identity)."""
+        seen: set[int] = set()
+        total = 0
+        for space in self.spaces:
+            for vma in space.vmas.values():
+                for i, block in enumerate(vma.blocks):
+                    shared = vma.cow_shared.get(i)
+                    key = id(shared) if shared is not None else None
+                    if key is not None:
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                    total += block.n_pages
+        return total
+
+
+op_strategy = st.tuples(
+    st.sampled_from(["mmap", "touch", "munmap", "fork", "cow", "exit"]),
+    st.integers(0, 5),
+    st.integers(0, 1_000_000),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(op_strategy, max_size=40))
+def test_no_leaks_no_double_frees(ops):
+    m = MemoryMachine()
+    for op in ops:
+        m.apply(op)
+        assert m.buddy.allocated_pages == m.live_pages()
+        assert m.buddy.free_pages + m.buddy.allocated_pages == m.buddy.n_pages
+    for space in list(m.spaces):
+        space.exit()
+    assert m.buddy.free_pages == m.buddy.n_pages
+    assert m.buddy.largest_free_order() == min(
+        m.buddy.max_order, m.buddy.n_pages.bit_length() - 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    forks=st.integers(1, 5),
+    size_mib=st.integers(2, 16),
+)
+def test_fork_cow_refcounts_consistent(forks, size_mib):
+    buddy = BuddyAllocator(1 << 14)
+    parent = AddressSpace(AARCH64_64K, buddy)
+    vma = parent.mmap(mib(size_mib), page_kind=PageKind.CONTIG,
+                      prefault=True)
+    children = [parent.fork() for _ in range(forks)]
+    base_pages = buddy.allocated_pages
+    # All children writing copies (forks) x the region.
+    for child in children:
+        child.cow_write(child.vmas[vma.start])
+    assert buddy.allocated_pages == base_pages * (forks + 1)
+    for child in children:
+        child.exit()
+    parent.exit()
+    assert buddy.free_pages == buddy.n_pages
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    lengths=st.lists(st.integers(1, mib(4)), min_size=1, max_size=10),
+)
+def test_resident_bytes_equals_touched(lengths):
+    buddy = BuddyAllocator(1 << 14)
+    space = AddressSpace(AARCH64_64K, buddy)
+    expected = 0
+    for length in lengths:
+        vma = space.mmap(length, page_kind=PageKind.BASE, prefault=True)
+        expected += vma.length  # rounded to page size
+    assert space.resident_bytes == expected
+    assert buddy.allocated_pages * 64 * 1024 == expected

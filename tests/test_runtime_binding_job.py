@@ -1,0 +1,130 @@
+"""Rank binding (§4.1.4) and the batch-job lifecycle."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.binding import (
+    bind_ranks,
+    numa_locality_fraction,
+    validate_disjoint,
+)
+from repro.runtime.job import BatchSystem, ContainerSpec, Job, OsChoice
+
+
+# --- binding -----------------------------------------------------------
+
+def test_fugaku_one_rank_per_cmg(fugaku_machine):
+    bindings = bind_ranks(fugaku_machine.node, ranks_per_node=4,
+                          threads_per_rank=12)
+    assert len(bindings) == 4
+    assert sorted(b.numa_group for b in bindings) == [0, 1, 2, 3]
+    validate_disjoint(bindings)
+    assert numa_locality_fraction(bindings, fugaku_machine.node) == 1.0
+    # Assistant cores are never used.
+    used = {c for b in bindings for c in b.cpu_ids}
+    assert not (used & set(fugaku_machine.node.topology.assistant_cpu_ids()))
+
+
+def test_ofp_geometries(ofp_machine):
+    for ranks, threads in ((4, 32), (16, 8), (8, 8), (16, 16)):
+        bindings = bind_ranks(ofp_machine.node, ranks, threads)
+        validate_disjoint(bindings)
+        assert len(bindings) == ranks
+
+
+def test_binding_prefers_distinct_physical_cores(ofp_machine):
+    bindings = bind_ranks(ofp_machine.node, ranks_per_node=4,
+                          threads_per_rank=17)
+    topo = ofp_machine.node.topology
+    for b in bindings:
+        # 17 threads on a 17-core quadrant: all on distinct cores.
+        cores = {topo.cpu(c).core_id for c in b.cpu_ids}
+        assert len(cores) == 17
+
+
+def test_binding_overflow_rejected(fugaku_machine):
+    with pytest.raises(ConfigurationError):
+        bind_ranks(fugaku_machine.node, ranks_per_node=4,
+                   threads_per_rank=13)  # 52 > 48 app cores
+
+
+def test_binding_respects_allowed_cpus(fugaku_machine):
+    allowed = fugaku_machine.node.topology.group_cpu_ids(0)
+    bindings = bind_ranks(fugaku_machine.node, 1, 12, allowed_cpus=allowed)
+    assert set(bindings[0].cpu_ids) <= set(allowed)
+    with pytest.raises(ConfigurationError):
+        bind_ranks(fugaku_machine.node, 2, 12, allowed_cpus=allowed)
+
+
+def test_validate_disjoint_catches_overlap(fugaku_machine):
+    bindings = bind_ranks(fugaku_machine.node, 2, 12)
+    from dataclasses import replace
+
+    clashing = [bindings[0], replace(bindings[1],
+                                     cpu_ids=bindings[0].cpu_ids)]
+    with pytest.raises(ConfigurationError):
+        validate_disjoint(clashing)
+
+
+def test_binding_validation(fugaku_machine):
+    with pytest.raises(ConfigurationError):
+        bind_ranks(fugaku_machine.node, 0, 1)
+
+
+# --- batch jobs -----------------------------------------------------------
+
+def test_linux_job_provisioning(fugaku_machine):
+    batch = BatchSystem(fugaku_machine)
+    job = Job(name="lqcd", n_nodes=1024, os_choice=OsChoice.LINUX)
+    prov = batch.provision(job)
+    assert prov.os_instance.kind == "linux"
+    assert not prov.prologue_epilogue_used
+    # Default tuning on aarch64 is the Fugaku production stack.
+    assert prov.os_instance.tuning.name == "fugaku-linux"
+
+
+def test_mckernel_job_provisioning(fugaku_machine):
+    batch = BatchSystem(fugaku_machine)
+    job = Job(name="lqcd", n_nodes=1024, os_choice=OsChoice.MCKERNEL)
+    prov = batch.provision(job)
+    assert prov.os_instance.kind == "mckernel"
+    assert prov.prologue_epilogue_used  # §5.1 prologue boot
+
+
+def test_ofp_default_tuning(ofp_machine):
+    batch = BatchSystem(ofp_machine)
+    prov = batch.provision(Job("amg", 16, OsChoice.LINUX))
+    assert prov.os_instance.tuning.name == "ofp-linux"
+
+
+def test_per_job_pmu_switch(fugaku_machine):
+    batch = BatchSystem(fugaku_machine)
+    prov = batch.provision(
+        Job("profiled", 16, OsChoice.LINUX, stop_pmu_reads=False))
+    names = {t.name for t in prov.os_instance.noise_tasks_on_app_cores()}
+    assert "pmu-read" in names  # the user kept TCS PMU collection on
+
+
+def test_oversized_job_rejected(testbed_machine):
+    batch = BatchSystem(testbed_machine)
+    with pytest.raises(ConfigurationError):
+        batch.provision(Job("big", 17, OsChoice.LINUX))
+    with pytest.raises(ConfigurationError):
+        Job("zero", 0, OsChoice.LINUX)
+
+
+def test_container_spec_defaults():
+    c = ContainerSpec()
+    assert c.image == "host" and c.host_rootfs
+
+
+def test_paging_policy_env_var(fugaku_machine):
+    # §4.1.3: allocation scheme controlled by environment variables.
+    demand = Job("j", 16, OsChoice.LINUX)
+    assert not demand.prefault
+    prepage = Job("j", 16, OsChoice.LINUX,
+                  env={"XOS_MMM_L_PAGING_POLICY": "prepage"})
+    assert prepage.prefault
+    with pytest.raises(ConfigurationError):
+        Job("j", 16, OsChoice.LINUX,
+            env={"XOS_MMM_L_PAGING_POLICY": "sometimes"})

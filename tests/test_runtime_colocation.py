@@ -1,0 +1,102 @@
+"""Co-location / performance isolation (§8 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.machines import fugaku, oakforest_pacs
+from repro.kernel.tuning import Countermeasure, fugaku_production, ofp_default
+from repro.runtime.colocation import (
+    ColocationResult,
+    IsolationMode,
+    TenantLoad,
+    interference_sources,
+    llc_slowdown_factor,
+    run_colocation,
+)
+
+
+@pytest.fixture
+def results(rng):
+    return run_colocation(
+        fugaku().node, fugaku_production(), TenantLoad(),
+        sync_interval=5e-3, n_threads=48 * 64, rng=rng,
+    )
+
+
+def test_isolation_ordering(results):
+    none = results[IsolationMode.NONE].total_slowdown
+    cg = results[IsolationMode.CGROUPS].total_slowdown
+    mk = results[IsolationMode.MULTIKERNEL].total_slowdown
+    assert mk < cg < none
+
+
+def test_multikernel_is_clean(results):
+    r = results[IsolationMode.MULTIKERNEL]
+    assert r.noise_slowdown == 0.0
+    assert r.cache_slowdown == 1.0
+    assert r.total_slowdown == 0.0
+
+
+def test_cgroups_leave_kernel_channels(results):
+    r = results[IsolationMode.CGROUPS]
+    assert 0.0 < r.noise_slowdown < 0.5
+    assert r.cache_slowdown > 1.0
+
+
+def test_no_isolation_is_unusable(results):
+    assert results[IsolationMode.NONE].total_slowdown > 1.0
+
+
+def test_interference_scales_with_tenant_load(rng):
+    node = fugaku().node
+    light = run_colocation(node, fugaku_production(),
+                           TenantLoad(cpu_duty=0.02, io_rate_hz=50,
+                                      churn_bytes_per_s=16 << 20),
+                           5e-3, 48 * 64, np.random.default_rng(1))
+    heavy = run_colocation(node, fugaku_production(),
+                           TenantLoad(cpu_duty=0.3, io_rate_hz=2000,
+                                      churn_bytes_per_s=2 << 30),
+                           5e-3, 48 * 64, np.random.default_rng(1))
+    for mode in (IsolationMode.NONE, IsolationMode.CGROUPS):
+        assert heavy[mode].total_slowdown > light[mode].total_slowdown
+
+
+def test_tlbi_channel_only_on_broadcast_arm(rng):
+    tenant = TenantLoad()
+    unpatched = fugaku_production().disable(Countermeasure.TLB_LOCAL_PATCH)
+    fug = interference_sources(
+        fugaku().node, tenant, IsolationMode.CGROUPS, unpatched)
+    assert any(s.name == "tenant-tlbi" for s in fug)
+    # With the RHEL patch the broadcast channel is gone.
+    fug_patched = interference_sources(
+        fugaku().node, tenant, IsolationMode.CGROUPS, fugaku_production())
+    assert not any(s.name == "tenant-tlbi" for s in fug_patched)
+    # x86 has no broadcast TLBI at all.
+    ofp = interference_sources(
+        oakforest_pacs().node, tenant, IsolationMode.CGROUPS, ofp_default())
+    assert not any(s.name == "tenant-tlbi" for s in ofp)
+
+
+def test_llc_factor_modes():
+    node = fugaku().node
+    tenant = TenantLoad(llc_share=0.5)
+    assert llc_slowdown_factor(node, tenant, IsolationMode.MULTIKERNEL) == 1.0
+    shared = llc_slowdown_factor(node, tenant, IsolationMode.CGROUPS)
+    assert shared > 1.0
+
+
+def test_total_slowdown_composition():
+    r = ColocationResult(mode=IsolationMode.CGROUPS,
+                         noise_slowdown=0.10, cache_slowdown=1.05)
+    assert r.total_slowdown == pytest.approx(1.10 * 1.05 - 1.0)
+
+
+def test_validation(rng):
+    with pytest.raises(ConfigurationError):
+        TenantLoad(cpu_duty=1.0)
+    with pytest.raises(ConfigurationError):
+        TenantLoad(llc_share=2.0)
+    with pytest.raises(ConfigurationError):
+        run_colocation(fugaku().node, fugaku_production(), TenantLoad(),
+                       0.0, 1, rng)

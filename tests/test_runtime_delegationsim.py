@@ -1,0 +1,81 @@
+"""Delegation throughput: queueing at the assistant cores."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.delegationsim import (
+    capacity_hz,
+    saturation_sweep,
+    simulate_delegation,
+)
+from repro.units import us
+
+#: Scaled scenario keeping the DES event count tractable: 40 us service
+#: on 2 assistant cores = 50k delegated calls/s of capacity.
+SERVICE = us(40.0)
+CAPACITY = 2 / SERVICE
+
+
+def test_light_load_latency_is_floor():
+    result = simulate_delegation(
+        calls_per_second_per_client=0.02 * CAPACITY / 48,
+        service_time=SERVICE, duration=1.0)
+    floor = us(2.6) + SERVICE
+    assert result.mean_latency == pytest.approx(floor, rel=0.15)
+    assert result.server_utilisation < 0.05
+
+
+def test_saturation_inflates_latency_and_utilisation():
+    light = simulate_delegation(
+        calls_per_second_per_client=0.02 * CAPACITY / 48,
+        service_time=SERVICE, duration=1.0)
+    heavy = simulate_delegation(
+        calls_per_second_per_client=0.95 * CAPACITY / 48,
+        service_time=SERVICE, duration=1.0)
+    assert heavy.mean_latency > 1.5 * light.mean_latency
+    assert heavy.p99_latency > 2.5 * light.p99_latency
+    assert heavy.server_utilisation > 0.75
+
+
+def test_sweep_is_monotone_in_load():
+    sweep = saturation_sweep(
+        [r * CAPACITY / 48 for r in (0.05, 0.4, 0.9)],
+        service_time=SERVICE, duration=0.5)
+    latencies = [r.mean_latency for r in sweep]
+    assert latencies[0] < latencies[1] < latencies[2]
+    utils = [r.server_utilisation for r in sweep]
+    assert utils[0] < utils[1] < utils[2] <= 1.0 + 1e-9
+
+
+def test_more_assistant_cores_raise_capacity():
+    rate = 0.9 * CAPACITY / 48
+    two = simulate_delegation(n_servers=2, service_time=SERVICE,
+                              calls_per_second_per_client=rate,
+                              duration=0.5)
+    four = simulate_delegation(n_servers=4, service_time=SERVICE,
+                               calls_per_second_per_client=rate,
+                               duration=0.5)
+    assert four.mean_latency < two.mean_latency
+    assert four.server_utilisation == pytest.approx(
+        two.server_utilisation / 2, rel=0.15)
+
+
+def test_capacity_formula():
+    assert capacity_hz(2, us(4.0)) == pytest.approx(500_000.0)
+    with pytest.raises(ConfigurationError):
+        capacity_hz(0, us(4.0))
+
+
+def test_completed_calls_track_offered_load():
+    result = simulate_delegation(calls_per_second_per_client=50.0,
+                                 n_clients=10, duration=4.0)
+    assert result.completed == pytest.approx(10 * 50 * 4.0, rel=0.15)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        simulate_delegation(n_clients=0)
+    with pytest.raises(ConfigurationError):
+        simulate_delegation(duration=-1.0)
+    with pytest.raises(ConfigurationError):
+        simulate_delegation(service_time=0.0)

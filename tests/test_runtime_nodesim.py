@@ -1,0 +1,92 @@
+"""DES BSP simulation and its agreement with the statistical model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noise.source import NoiseSource
+from repro.runtime.nodesim import (
+    NoisyCore,
+    simulate_bsp,
+    validate_against_sampler,
+)
+from repro.sim.distributions import Fixed, TruncatedExponential
+from repro.units import ms, us
+
+
+def _dense_source():
+    return NoiseSource(
+        "d", interval=0.2,
+        duration=TruncatedExponential(scale=us(200), cap=ms(2)),
+    )
+
+
+def test_noiseless_run_is_ideal(rng):
+    result = simulate_bsp([], sync_interval=1e-3, n_iterations=20,
+                          n_threads=4, rng=rng)
+    assert result.total_time == pytest.approx(result.ideal_time)
+    assert result.slowdown == pytest.approx(0.0)
+
+
+def test_noise_extends_intervals(rng):
+    result = simulate_bsp([_dense_source()], sync_interval=5e-3,
+                          n_iterations=100, n_threads=16, rng=rng)
+    assert result.total_time > result.ideal_time
+    assert result.mean_interval_delay > 0
+    assert len(result.interval_times) == 100
+    assert result.interval_times.min() >= 5e-3 - 1e-12
+
+
+def test_slowdown_grows_with_threads(rng):
+    small = simulate_bsp([_dense_source()], 5e-3, 200, 2,
+                         np.random.default_rng(1))
+    large = simulate_bsp([_dense_source()], 5e-3, 200, 64,
+                         np.random.default_rng(1))
+    assert large.slowdown > small.slowdown
+
+
+def test_des_agrees_with_order_statistic_sampler():
+    """The core validation: two independent paths, one answer."""
+    out = validate_against_sampler(
+        [_dense_source()], sync_interval=5e-3, n_threads=48,
+        n_iterations=600, seed=3,
+    )
+    assert out["des_mean_delay"] == pytest.approx(
+        out["sampler_mean_delay"], rel=0.30)
+    assert out["des_slowdown"] > 0.01
+
+
+def test_noisy_core_conserves_stolen_time(rng):
+    src = NoiseSource("x", interval=0.01, duration=Fixed(us(100)))
+    core = NoisyCore([src], horizon=10.0, rng=rng)
+    # Consuming the whole horizon as one work quantum charges every event.
+    duration = core.work_duration(0.0, 10.0)
+    assert duration == pytest.approx(10.0 + core.stolen_total)
+
+
+def test_noisy_core_monotone_cursor(rng):
+    src = NoiseSource("x", interval=0.01, duration=Fixed(us(100)))
+    core = NoisyCore([src], horizon=5.0, rng=rng)
+    t = 0.0
+    total = 0.0
+    for _ in range(50):
+        d = core.work_duration(t, 0.1)
+        assert d >= 0.1
+        t += d
+        total += d - 0.1
+    assert total <= core.stolen_total + 1e-12
+
+
+def test_noisy_core_empty_sources(rng):
+    core = NoisyCore([], horizon=1.0, rng=rng)
+    assert core.work_duration(0.0, 0.5) == pytest.approx(0.5)
+    assert core.stolen_total == 0.0
+    with pytest.raises(ConfigurationError):
+        core.work_duration(0.0, -1.0)
+
+
+def test_simulate_bsp_validation(rng):
+    with pytest.raises(ConfigurationError):
+        simulate_bsp([], 0.0, 1, 1, rng)
+    with pytest.raises(ConfigurationError):
+        simulate_bsp([], 1.0, 0, 1, rng)

@@ -1,0 +1,304 @@
+"""Discrete-event engine: ordering, events, joins, interrupts."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+    log = []
+
+    def proc():
+        yield eng.timeout(1.5)
+        log.append(eng.now)
+
+    eng.process(proc())
+    eng.run()
+    assert log == [1.5]
+
+
+def test_run_until_stops_before_later_events():
+    eng = Engine()
+    log = []
+
+    def proc():
+        yield eng.timeout(1.0)
+        log.append("a")
+        yield eng.timeout(10.0)
+        log.append("b")
+
+    eng.process(proc())
+    eng.run(until=5.0)
+    assert log == ["a"]
+    assert eng.now == 5.0
+
+
+def test_run_until_advances_clock_even_if_queue_drains_early():
+    eng = Engine()
+
+    def proc():
+        yield eng.timeout(1.0)
+
+    eng.process(proc())
+    eng.run(until=7.0)
+    assert eng.now == 7.0
+
+
+def test_fifo_order_for_simultaneous_events():
+    eng = Engine()
+    order = []
+
+    def make(name):
+        def proc():
+            yield eng.timeout(1.0)
+            order.append(name)
+        return proc
+
+    for name in "abc":
+        eng.process(make(name)())
+    eng.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_wakes_waiters_with_value():
+    eng = Engine()
+    ev = eng.event("data")
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append((eng.now, value))
+
+    def firer():
+        yield eng.timeout(2.0)
+        ev.succeed(42)
+
+    eng.process(waiter())
+    eng.process(firer())
+    eng.run()
+    assert got == [(2.0, 42)]
+
+
+def test_event_fires_once_only():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_fire_raises():
+    eng = Engine()
+    ev = eng.event("pending")
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_waiting_on_triggered_event_resumes_immediately():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed("early")
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append(value)
+
+    eng.process(waiter())
+    eng.run()
+    assert got == ["early"]
+
+
+def test_process_join_returns_generator_return_value():
+    eng = Engine()
+    results = []
+
+    def child():
+        yield eng.timeout(3.0)
+        return "child-result"
+
+    def parent():
+        proc = eng.process(child(), name="child")
+        value = yield proc
+        results.append((eng.now, value))
+
+    eng.process(parent())
+    eng.run()
+    assert results == [(3.0, "child-result")]
+
+
+def test_interrupt_kills_process_and_fires_done():
+    eng = Engine()
+    log = []
+
+    def victim():
+        yield eng.timeout(100.0)
+        log.append("should not happen")
+
+    proc = eng.process(victim())
+
+    def killer():
+        yield eng.timeout(1.0)
+        proc.interrupt()
+
+    eng.process(killer())
+    eng.run()
+    assert log == []
+    assert proc.done.triggered
+    assert not proc.alive
+
+
+def test_all_of_collects_values_in_order():
+    eng = Engine()
+    evs = [eng.event(f"e{i}") for i in range(3)]
+    combined = eng.all_of(evs)
+    got = []
+
+    def waiter():
+        values = yield combined
+        got.append(values)
+
+    def firer():
+        yield eng.timeout(1.0)
+        evs[2].succeed("c")
+        evs[0].succeed("a")
+        evs[1].succeed("b")
+
+    eng.process(waiter())
+    eng.process(firer())
+    eng.run()
+    assert got == [["a", "b", "c"]]
+
+
+def test_all_of_empty_fires_immediately():
+    eng = Engine()
+    combined = eng.all_of([])
+    assert combined.triggered
+    assert combined.value == []
+
+
+def test_negative_timeout_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.timeout(-1.0)
+
+
+def test_yielding_garbage_raises():
+    eng = Engine()
+
+    def bad():
+        yield "not a request"
+
+    eng.process(bad())
+    with pytest.raises(SimulationError, match="unsupported request"):
+        eng.run()
+
+
+def test_peek_reports_next_event_time():
+    eng = Engine()
+
+    def proc():
+        yield eng.timeout(4.25)
+
+    eng.process(proc())
+    assert eng.peek() == 0.0  # the initial process start
+    eng.run()
+    assert eng.peek() is None
+
+
+def test_nested_processes_interleave():
+    eng = Engine()
+    trace = []
+
+    def ping():
+        for _ in range(3):
+            yield eng.timeout(2.0)
+            trace.append(("ping", eng.now))
+
+    def pong():
+        for _ in range(3):
+            yield eng.timeout(3.0)
+            trace.append(("pong", eng.now))
+
+    eng.process(ping())
+    eng.process(pong())
+    eng.run()
+    # At t=6 both are due; pong was scheduled first (at t=3, vs ping's
+    # t=4), so FIFO insertion order puts pong ahead.
+    assert trace == [
+        ("ping", 2.0), ("pong", 3.0), ("ping", 4.0),
+        ("pong", 6.0), ("ping", 6.0), ("pong", 9.0),
+    ]
+
+
+# --- Resource (semaphore) ----------------------------------------------------
+
+def test_resource_serialises_fifo():
+    from repro.sim.engine import Resource
+
+    eng = Engine()
+    lock = eng.resource(capacity=1, name="tofu-lock")
+    order = []
+
+    def worker(name, work):
+        grant = lock.acquire()
+        yield grant
+        order.append((name, eng.now))
+        yield eng.timeout(work)
+        lock.release()
+
+    eng.process(worker("a", 2.0))
+    eng.process(worker("b", 2.0))
+    eng.process(worker("c", 2.0))
+    eng.run()
+    assert order == [("a", 0.0), ("b", 2.0), ("c", 4.0)]
+    assert lock.max_queue == 2
+    assert lock.queued == 0
+
+
+def test_resource_capacity_allows_parallelism():
+    eng = Engine()
+    pool = eng.resource(capacity=2)
+    starts = []
+
+    def worker(name):
+        yield pool.acquire()
+        starts.append((name, eng.now))
+        yield eng.timeout(1.0)
+        pool.release()
+
+    for n in "abc":
+        eng.process(worker(n))
+    eng.run()
+    assert starts == [("a", 0.0), ("b", 0.0), ("c", 1.0)]
+
+
+def test_resource_release_when_idle_raises():
+    eng = Engine()
+    res = eng.resource()
+    with pytest.raises(SimulationError):
+        res.release()
+    with pytest.raises(SimulationError):
+        eng.resource(capacity=0)
+
+
+def test_driver_lock_contention_scenario():
+    """Four ranks registering through one Tofu driver lock: wall time
+    is the serialised sum — the per-node effect the PicoDriver's
+    per-core STAG tables avoid."""
+    eng = Engine()
+    lock = eng.resource(capacity=1, name="tofu-driver")
+    done_at = {}
+
+    def rank(r):
+        yield lock.acquire()
+        yield eng.timeout(0.010)  # one registration's driver work
+        lock.release()
+        done_at[r] = eng.now
+
+    for r in range(4):
+        eng.process(rank(r))
+    eng.run()
+    assert max(done_at.values()) == pytest.approx(0.040)

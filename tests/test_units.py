@@ -1,0 +1,50 @@
+"""Unit helpers: conversions and formatting."""
+
+import pytest
+
+from repro import units
+
+
+def test_time_constants_ordering():
+    assert units.NS < units.US < units.MS < units.SEC < units.MINUTE
+
+
+def test_time_conversions_round_trip():
+    assert units.ns(250) == pytest.approx(250e-9)
+    assert units.us(250) == pytest.approx(250e-6)
+    assert units.ms(6.5) == pytest.approx(6.5e-3)
+    assert units.to_us(units.us(17.5)) == pytest.approx(17.5)
+    assert units.to_ms(units.ms(20.3)) == pytest.approx(20.3)
+
+
+def test_memory_sizes():
+    assert units.KiB == 1024
+    assert units.MiB == 1024**2
+    assert units.GiB == 1024**3
+    assert units.kib(2) == 2048
+    assert units.mib(1.5) == 1536 * 1024
+    assert units.gib(32) == 32 * 1024**3
+
+
+def test_fmt_bytes_choices():
+    assert units.fmt_bytes(512) == "512 B"
+    assert units.fmt_bytes(2 * units.MiB) == "2.0 MiB"
+    assert units.fmt_bytes(32 * units.GiB) == "32.0 GiB"
+    assert "TiB" in units.fmt_bytes(3 * units.TiB)
+
+
+def test_fmt_bytes_huge_stays_tib():
+    assert units.fmt_bytes(5000 * units.TiB).endswith("TiB")
+
+
+def test_fmt_time_choices():
+    assert units.fmt_time(200e-9) == "200.0 ns"
+    assert units.fmt_time(6.5e-3) == "6.500 ms"
+    assert units.fmt_time(50.44e-6) == "50.44 us"
+    assert units.fmt_time(2.0) == "2.000 s"
+
+
+def test_fmt_time_negative_durations_keep_magnitude_unit():
+    # Negative deltas (e.g. clock skew displays) keep the unit of their
+    # magnitude.
+    assert units.fmt_time(-3e-6).endswith("us")
