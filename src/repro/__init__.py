@@ -22,7 +22,18 @@ See examples/quickstart.py for a guided tour.
 
 from __future__ import annotations
 
-from . import apps, experiments, hardware, kernel, mckernel, net, noise, runtime, sim
+from . import (
+    apps,
+    experiments,
+    hardware,
+    kernel,
+    mckernel,
+    net,
+    noise,
+    perf,
+    runtime,
+    sim,
+)
 from .errors import (
     CgroupLimitExceeded,
     ConfigurationError,
@@ -83,6 +94,7 @@ __all__ = [
     "mckernel",
     "net",
     "noise",
+    "perf",
     "runtime",
     "sim",
     "quick_compare",

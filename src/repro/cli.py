@@ -1,21 +1,47 @@
 """Command-line interface.
 
     python -m repro list
-    python -m repro experiment table2 [--full] [--seed N]
+    python -m repro experiments table2 [--full] [--seed N] [--jobs N] [--stats]
     python -m repro compare LQCD --platform fugaku --nodes 2048
     python -m repro fwq --platform fugaku --os mckernel --duration 60
+    python -m repro cache info|clear
 
 The CLI is a thin shell over the library; anything it prints can be
 obtained programmatically from :mod:`repro.experiments` and
 :func:`repro.quick_compare`.
+
+Experiment runs fan their sweeps out over ``--jobs`` worker processes
+(``0`` = one per available CPU) and memoize RunResults in the run
+cache (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-runs``; disable with
+``--no-cache``), so regenerating a figure is parallel the first time
+and a cache replay afterwards — byte-identical output either way.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
+
+
+def _auto_jobs() -> int:
+    """One worker per CPU actually available to this process."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without affinity masks
+        return max(1, os.cpu_count() or 1)
+
+
+def _make_cache(args: argparse.Namespace):
+    from .perf.cache import RunCache
+
+    if getattr(args, "no_cache", False):
+        return None
+    if getattr(args, "cache_dir", None):
+        return RunCache(args.cache_dir)
+    return RunCache.default()
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -34,13 +60,32 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import run_experiment
+    from .perf.context import perf_context
+    from .perf.counters import PerfCounters
 
-    for eid in args.ids:
-        result = run_experiment(eid, fast=not args.full, seed=args.seed)
-        print(result.render())
-        if result.paper_reference:
-            print(f"[paper reference: {result.paper_reference}]")
-        print()
+    jobs = _auto_jobs() if args.jobs == 0 else args.jobs
+    counters = PerfCounters()
+    with perf_context(jobs=jobs, cache=_make_cache(args), counters=counters):
+        for eid in args.ids:
+            result = run_experiment(eid, fast=not args.full, seed=args.seed)
+            print(result.render())
+            if result.paper_reference:
+                print(f"[paper reference: {result.paper_reference}]")
+            print()
+    if args.stats:
+        print(counters.report())
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = _make_cache(args)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached run(s) from {cache.directory}")
+    else:
+        info = cache.info()
+        for field, value in info.items():
+            print(f"{field:<14} {value}")
     return 0
 
 
@@ -117,10 +162,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list experiments and applications")
 
-    p_exp = sub.add_parser("experiment", help="run paper experiments")
+    p_exp = sub.add_parser("experiment", aliases=["experiments"],
+                           help="run paper experiments")
     p_exp.add_argument("ids", nargs="+", help="experiment ids (see list)")
     p_exp.add_argument("--full", action="store_true")
     p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for sweep cells "
+                            "(0 = one per available CPU; default 1)")
+    p_exp.add_argument("--stats", action="store_true",
+                       help="print executor/cache timing counters")
+    p_exp.add_argument("--no-cache", action="store_true",
+                       help="disable the memoized run cache")
+    p_exp.add_argument("--cache-dir", metavar="DIR",
+                       help="run cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro-runs)")
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the run cache")
+    p_cache.add_argument("action", choices=["info", "clear"])
+    p_cache.add_argument("--cache-dir", metavar="DIR",
+                         help="run cache directory (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro-runs)")
 
     p_cmp = sub.add_parser("compare", help="Linux vs McKernel for one app")
     p_cmp.add_argument("app")
@@ -155,9 +217,11 @@ def main(argv: list[str] | None = None) -> int:
     handler = {
         "list": _cmd_list,
         "experiment": _cmd_experiment,
+        "experiments": _cmd_experiment,
         "compare": _cmd_compare,
         "export": _cmd_export,
         "fwq": _cmd_fwq,
+        "cache": _cmd_cache,
     }[args.command]
     return handler(args)
 

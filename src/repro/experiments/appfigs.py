@@ -11,7 +11,8 @@ from ..hardware.machines import Machine
 from ..kernel.linux import LinuxKernel
 from ..kernel.tuning import LinuxTuning
 from ..mckernel.lwk import boot_mckernel
-from ..runtime.runner import Comparison, compare
+from ..perf.executor import RunCell, execute_cells
+from ..runtime.runner import Comparison
 from .asciiplot import line_plot
 from .report import ExperimentResult, format_series, format_table
 
@@ -23,15 +24,34 @@ def sweep_apps(
     node_counts: list[int],
     n_runs: int,
     seed: int,
+    jobs: int | None = None,
+    cache=None,
 ) -> dict[str, list[Comparison]]:
+    """Linux-vs-McKernel comparisons for every (app, node count).
+
+    The full (app, OS, n_nodes) cell grid is flattened into one
+    :func:`repro.perf.execute_cells` fan-out so a parallel context
+    keeps all workers busy across application boundaries; results are
+    reassembled in (app, node count) order, bit-identical to a serial
+    sweep.
+    """
     linux = LinuxKernel(machine.node, tuning,
                         interconnect=machine.interconnect)
     mck = boot_mckernel(machine.node, host_tuning=tuning)
-    out: dict[str, list[Comparison]] = {}
+    cells = []
     for app in apps:
         profile = ALL_PROFILES[app]()
-        out[app] = compare(machine, profile, linux, mck, node_counts,
-                           n_runs=n_runs, seed=seed)
+        for n in node_counts:
+            cells.append(RunCell(machine, profile, linux, n, n_runs, seed))
+            cells.append(RunCell(machine, profile, mck, n, n_runs, seed))
+    results = execute_cells(cells, jobs=jobs, cache=cache)
+    out: dict[str, list[Comparison]] = {}
+    flat = iter(results)
+    for app in apps:
+        out[app] = [
+            Comparison(n_nodes=n, linux=next(flat), mckernel=next(flat))
+            for n in node_counts
+        ]
     return out
 
 

@@ -44,9 +44,16 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
 }
 
 
-def run_experiment(experiment_id: str, fast: bool = True,
-                   seed: int = 0) -> ExperimentResult:
-    """Run one registered experiment by id."""
+def run_experiment(experiment_id: str, fast: bool = True, seed: int = 0,
+                   jobs: int = 1, cache=None) -> ExperimentResult:
+    """Run one registered experiment by id.
+
+    ``jobs > 1`` fans the experiment's sweep cells out over worker
+    processes; ``cache`` (a :class:`repro.perf.RunCache`) memoizes the
+    underlying RunResults.  Both leave the output bit-identical to the
+    serial, uncached run.  Defaults inherit any ambient
+    :func:`repro.perf.perf_context` (so ``run_all(jobs=4)`` composes).
+    """
     try:
         _, runner = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -54,11 +61,26 @@ def run_experiment(experiment_id: str, fast: bool = True,
             f"unknown experiment {experiment_id!r}; "
             f"known: {sorted(EXPERIMENTS)}"
         ) from None
+    if jobs != 1 or cache is not None:
+        from ..perf.context import perf_context
+
+        with perf_context(jobs=jobs, cache=cache):
+            return runner(fast=fast, seed=seed)
     return runner(fast=fast, seed=seed)
 
 
-def run_all(fast: bool = True, seed: int = 0) -> dict[str, ExperimentResult]:
-    """Run every experiment, in registry order."""
-    return {
-        eid: run_experiment(eid, fast=fast, seed=seed) for eid in EXPERIMENTS
-    }
+def run_all(fast: bool = True, seed: int = 0, jobs: int = 1,
+            cache=None) -> dict[str, ExperimentResult]:
+    """Run every experiment, in registry order.
+
+    With ``jobs=N`` a single worker pool is shared by all experiments'
+    sweeps (fork cost is paid once); ``cache`` deduplicates cells
+    repeated across artefacts and invocations.
+    """
+    from ..perf.context import perf_context
+
+    with perf_context(jobs=jobs, cache=cache):
+        return {
+            eid: run_experiment(eid, fast=fast, seed=seed)
+            for eid in EXPERIMENTS
+        }

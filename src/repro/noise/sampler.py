@@ -71,10 +71,36 @@ def multi_core_fwq(
     are statistically independent: each gets its own event draws."""
     if n_cores <= 0:
         raise ConfigurationError("n_cores must be positive")
-    out = np.empty((n_cores, n_iterations), dtype=float)
+    if t_work <= 0:
+        raise ConfigurationError("t_work must be positive")
+    if n_iterations <= 0:
+        raise ConfigurationError("n_iterations must be positive")
+    horizon = n_iterations * t_work
+    # Event draws stay in core-major, source-minor order — the exact
+    # RNG stream of per-core fwq_iteration_lengths calls — but the
+    # charging is batched into a single accumulation over a flat
+    # (n_cores * n_iterations) timeline.  np.add.at applies updates
+    # sequentially per slot, and each slot belongs to one (core,
+    # source-ordered) chunk, so the float accumulation order — hence
+    # every bit of the result — is unchanged.
+    idx_chunks: list[np.ndarray] = []
+    dur_chunks: list[np.ndarray] = []
     for core in range(n_cores):
-        out[core] = fwq_iteration_lengths(sources, t_work, n_iterations, rng)
-    return out
+        base = core * n_iterations
+        for source in sources:
+            starts, durations = source.sample_events(horizon, rng)
+            if len(starts) == 0:
+                continue
+            idx = np.minimum(
+                (starts / t_work).astype(np.int64), n_iterations - 1
+            )
+            idx_chunks.append(idx + base)
+            dur_chunks.append(durations)
+    flat = np.full(n_cores * n_iterations, t_work, dtype=float)
+    if idx_chunks:
+        np.add.at(flat, np.concatenate(idx_chunks),
+                  np.concatenate(dur_chunks))
+    return flat.reshape(n_cores, n_iterations)
 
 
 def worst_nodes(

@@ -1,0 +1,43 @@
+"""repro.perf — the performance subsystem of the experiment engine.
+
+Three cooperating layers make repeated artefact regeneration fast
+without perturbing a single simulated number:
+
+* :mod:`repro.perf.executor` — a deterministic parallel sweep executor:
+  independent (app, OS, n_nodes) cells fan out over a
+  ``concurrent.futures.ProcessPoolExecutor`` (with a transparent serial
+  fallback) and are reassembled in submission order, so parallel runs
+  are byte-identical to serial ones;
+* :mod:`repro.perf.cache` — a content-addressed memoization cache for
+  :class:`~repro.runtime.runner.RunResult`: keys are SHA-256 digests of
+  the complete run configuration (machine, profile, OS tuning,
+  n_nodes, n_runs, seed), values live in memory and optionally on disk
+  (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-runs``);
+* :mod:`repro.perf.counters` — lightweight wall-time / hit-rate
+  instrumentation surfaced by ``repro experiments --stats``.
+
+:mod:`repro.perf.context` ties them together: ``perf_context(jobs=4,
+cache=...)`` makes every sweep inside the block fan out and memoize.
+"""
+
+from __future__ import annotations
+
+from .cache import RunCache, default_cache_dir
+from .context import PerfContext, get_context, perf_context
+from .counters import PerfCounters, get_counters
+from .executor import RunCell, execute_cells
+from .fingerprint import fingerprint, run_key
+
+__all__ = [
+    "PerfContext",
+    "PerfCounters",
+    "RunCache",
+    "RunCell",
+    "default_cache_dir",
+    "execute_cells",
+    "fingerprint",
+    "get_context",
+    "get_counters",
+    "perf_context",
+    "run_key",
+]

@@ -1,0 +1,176 @@
+"""Memoized run cache: content-addressed storage of RunResults.
+
+Two tiers under one interface:
+
+* **memory** — a plain dict, always on; repeated sweeps within one
+  process (e.g. ``run_all`` regenerating figures that share cells) hit
+  it for free;
+* **disk** — one JSON file per key under the cache directory, written
+  atomically (temp file + rename), so repeated *invocations* of the
+  benchmark/figure harness skip resimulation entirely.
+
+The cache directory resolves to ``$REPRO_CACHE_DIR`` when set, else
+``~/.cache/repro-runs``.  JSON float serialization uses ``repr``
+round-tripping, so a cached replay reconstructs every wall time and
+breakdown component bit-for-bit — rendered figure text is unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from ..runtime.runner import RunResult
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-runs``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro-runs"
+
+
+def result_to_dict(result: "RunResult") -> dict:
+    """JSON-able representation of a RunResult (exact round trip)."""
+    b = result.breakdown
+    return {
+        "app": result.app,
+        "machine": result.machine,
+        "os_kind": result.os_kind,
+        "n_nodes": result.n_nodes,
+        "n_threads": result.n_threads,
+        "times": list(result.times),
+        "breakdown": {
+            "compute": b.compute,
+            "tlb": b.tlb,
+            "churn": b.churn,
+            "collective": b.collective,
+            "noise": b.noise,
+            "init": b.init,
+        },
+    }
+
+
+def result_from_dict(payload: dict) -> "RunResult":
+    from ..runtime.runner import Breakdown, RunResult
+
+    return RunResult(
+        app=payload["app"],
+        machine=payload["machine"],
+        os_kind=payload["os_kind"],
+        n_nodes=int(payload["n_nodes"]),
+        n_threads=int(payload["n_threads"]),
+        times=tuple(float(t) for t in payload["times"]),
+        breakdown=Breakdown(**{
+            k: float(v) for k, v in payload["breakdown"].items()
+        }),
+    )
+
+
+class RunCache:
+    """In-memory + optional on-disk store of RunResults by content key.
+
+    ``directory=None`` keeps the cache purely in memory (one process);
+    a path enables the persistent tier.  Use :meth:`default` for the
+    standard location honouring ``$REPRO_CACHE_DIR``.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self._memory: dict[str, "RunResult"] = {}
+        self.directory: Optional[pathlib.Path] = (
+            pathlib.Path(directory) if directory is not None else None
+        )
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def default(cls) -> "RunCache":
+        """Persistent cache at the standard location."""
+        return cls(default_cache_dir())
+
+    # -- access -------------------------------------------------------
+
+    def _path(self, key: str) -> pathlib.Path:
+        assert self.directory is not None
+        if not key or any(c in key for c in "/\\."):
+            raise ConfigurationError(f"malformed cache key {key!r}")
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional["RunResult"]:
+        """The cached result for ``key``, or None on a miss."""
+        result = self._memory.get(key)
+        if result is not None:
+            return result
+        if self.directory is None:
+            return None
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            # Missing, unreadable or corrupt entry: treat as a miss (a
+            # corrupt file is overwritten by the next put).
+            return None
+        result = result_from_dict(payload)
+        self._memory[key] = result
+        return result
+
+    def put(self, key: str, result: "RunResult") -> None:
+        self._memory[key] = result
+        if self.directory is None:
+            return
+        path = self._path(key)
+        payload = json.dumps(result_to_dict(result))
+        # Atomic publish: never expose a half-written entry.
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        """Distinct entries reachable from this cache instance."""
+        keys = set(self._memory)
+        if self.directory is not None:
+            keys.update(p.stem for p in self.directory.glob("*.json"))
+        return len(keys)
+
+    # -- maintenance --------------------------------------------------
+
+    def clear(self) -> int:
+        """Drop every entry (memory and disk); returns entries removed."""
+        removed = len(self)
+        self._memory.clear()
+        if self.directory is not None:
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return removed
+
+    def info(self) -> dict:
+        """Cache location and population summary."""
+        on_disk = (
+            sorted(p.stem for p in self.directory.glob("*.json"))
+            if self.directory is not None else []
+        )
+        return {
+            "directory": str(self.directory) if self.directory else None,
+            "memory_entries": len(self._memory),
+            "disk_entries": len(on_disk),
+        }

@@ -1,0 +1,146 @@
+"""Deterministic parallel sweep executor.
+
+A sweep — Figs. 5-7, ``compare``, ``run_all`` — is a list of
+independent simulation *cells* ``(machine, profile, OS, n_nodes,
+n_runs, seed)``.  Each cell derives its RNG streams from its own
+coordinates (see :meth:`AppRunner.run`), so cells can execute in any
+order, on any process, and produce bit-identical results; the executor
+exploits that by fanning cells out over a
+:class:`concurrent.futures.ProcessPoolExecutor` and reassembling
+results in submission order.
+
+Failure containment: pool infrastructure errors (a worker killed, an
+unpicklable payload, fork failure) degrade transparently to the serial
+path — the sweep still completes, just slower.  Model errors raised by
+a cell propagate unchanged in both modes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from .context import get_context
+from .counters import get_counters
+from .fingerprint import run_key
+
+if TYPE_CHECKING:
+    from ..apps.base import WorkloadProfile
+    from ..hardware.machines import Machine
+    from ..kernel.base import OsInstance
+    from ..runtime.runner import RunResult
+    from .cache import RunCache
+
+
+@dataclass(frozen=True)
+class RunCell:
+    """One independent unit of sweep work."""
+
+    machine: "Machine"
+    profile: "WorkloadProfile"
+    os_instance: "OsInstance"
+    n_nodes: int
+    n_runs: int
+    seed: int
+
+    def key(self, memo: dict | None = None) -> str:
+        """Content address of this cell (the cache key)."""
+        return run_key(self.machine, self.profile, self.os_instance,
+                       self.n_nodes, self.n_runs, self.seed, memo=memo)
+
+
+def _execute_cell(cell: RunCell) -> "RunResult":
+    """Run one cell; module-level so worker processes can unpickle it."""
+    from ..runtime.runner import AppRunner
+
+    runner = AppRunner(cell.machine, cell.profile, seed=cell.seed)
+    return runner.run(cell.os_instance, cell.n_nodes, n_runs=cell.n_runs)
+
+
+def _run_serial(cells: Sequence[RunCell]) -> list["RunResult"]:
+    return [_execute_cell(cell) for cell in cells]
+
+
+def _run_pool(pool: ProcessPoolExecutor, cells: Sequence[RunCell],
+              jobs: int) -> list["RunResult"]:
+    # map() preserves submission order, which is all the determinism
+    # the reassembly step needs.  Chunking bounds the per-task IPC and
+    # lets pickle share the machine/profile/OS objects within a chunk;
+    # two chunks per worker keeps some slack for load imbalance.
+    chunksize = max(1, -(-len(cells) // (jobs * 2)))
+    return list(pool.map(_execute_cell, cells, chunksize=chunksize))
+
+
+def execute_cells(
+    cells: Sequence[RunCell],
+    jobs: Optional[int] = None,
+    cache: Optional["RunCache"] = None,
+) -> list["RunResult"]:
+    """Execute ``cells``, returning results in cell order.
+
+    ``jobs``/``cache`` default to the ambient :class:`PerfContext`.
+    Cache lookups and stores happen in the parent process only, so
+    workers stay pure compute and the disk tier sees no write races.
+    """
+    ctx = get_context()
+    if jobs is None:
+        jobs = ctx.jobs
+    if cache is None:
+        cache = ctx.cache
+    counters = get_counters()
+    counters.add("executor.cells", len(cells))
+
+    results: list[Optional["RunResult"]] = [None] * len(cells)
+    pending: list[int] = []
+    keys: dict[int, str] = {}
+    if cache is not None:
+        memo: dict = {}
+        with counters.timer("cache.lookup"):
+            for i, cell in enumerate(cells):
+                keys[i] = cell.key(memo)
+                hit = cache.get(keys[i])
+                if hit is not None:
+                    results[i] = hit
+                    counters.add("cache.hits")
+                else:
+                    pending.append(i)
+                    counters.add("cache.misses")
+    else:
+        pending = list(range(len(cells)))
+
+    todo = [cells[i] for i in pending]
+    with counters.timer("executor.compute"):
+        computed = _dispatch(todo, jobs, ctx, counters)
+    for i, result in zip(pending, computed):
+        results[i] = result
+        if cache is not None:
+            cache.put(keys[i], result)
+    return results  # type: ignore[return-value]
+
+
+def _dispatch(cells: Sequence[RunCell], jobs: int, ctx,
+              counters) -> list["RunResult"]:
+    if jobs <= 1 or len(cells) <= 1:
+        counters.add("executor.serial_cells", len(cells))
+        return _run_serial(cells)
+    shared = ctx.pool() if jobs == ctx.jobs else None
+    try:
+        if shared is not None:
+            out = _run_pool(shared, cells, jobs)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(cells))
+            ) as pool:
+                out = _run_pool(pool, cells, jobs)
+    except (BrokenProcessPool, OSError, pickle.PicklingError):
+        # Infrastructure failure, not a model error: degrade to serial.
+        if shared is not None:
+            ctx.mark_pool_broken()
+        counters.add("executor.pool_failures")
+        counters.add("executor.serial_cells", len(cells))
+        return _run_serial(cells)
+    counters.add("executor.parallel_cells", len(cells))
+    return out

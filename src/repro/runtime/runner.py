@@ -226,12 +226,15 @@ class AppRunner:
         p = self.profile
         geo = p.geometry_for(self.machine.name)
         n_threads = n_nodes * geo.threads_per_node
+        # Evaluate each component model exactly once; the sum feeds the
+        # per-interval cost and the same values price the Breakdown.
+        tlb_time = self._tlb_time_per_interval(os_instance, n_nodes)
+        churn_time = self._churn_time_per_interval(os_instance, n_nodes,
+                                                   geo.threads_per_rank)
+        collective_time = self._collective_time(n_nodes, geo.ranks_per_node)
         per_iter_static = (
-            p.sync_interval_at(n_nodes)
-            + self._tlb_time_per_interval(os_instance, n_nodes)
-            + self._churn_time_per_interval(os_instance, n_nodes,
-                                            geo.threads_per_rank)
-            + self._collective_time(n_nodes, geo.ranks_per_node)
+            p.sync_interval_at(n_nodes) + tlb_time + churn_time
+            + collective_time
         )
         init = self._init_time(os_instance, n_nodes)
         n_intervals = p.iterations * p.steps
@@ -264,11 +267,9 @@ class AppRunner:
         mean_noise = float(np.mean(noise_means))
         breakdown = Breakdown(
             compute=n_intervals * p.sync_interval_at(n_nodes),
-            tlb=n_intervals * self._tlb_time_per_interval(os_instance, n_nodes),
-            churn=n_intervals * self._churn_time_per_interval(
-                os_instance, n_nodes, geo.threads_per_rank),
-            collective=n_intervals * self._collective_time(
-                n_nodes, geo.ranks_per_node),
+            tlb=n_intervals * tlb_time,
+            churn=n_intervals * churn_time,
+            collective=n_intervals * collective_time,
             noise=n_intervals * mean_noise,
             init=init,
         )
@@ -310,21 +311,31 @@ def compare(
     node_counts: list[int],
     n_runs: int = 3,
     seed: int = 0,
+    jobs: int | None = None,
+    cache=None,
 ) -> list[Comparison]:
     """Run the Linux/McKernel pair across a node-count sweep.
 
     Mirrors the paper's methodology note: "for each node count the
     exact same compute nodes are utilized for both" — here, the same
     seed stream drives both OSes at each node count.
+
+    Every (OS, n_nodes) cell derives its RNG streams purely from its
+    own coordinates, so the sweep fans out over the
+    :mod:`repro.perf` executor: ``jobs``/``cache`` select parallelism
+    and run memoization (``None`` inherits the ambient
+    :func:`repro.perf.perf_context`), with results bit-identical to
+    the serial path.
     """
-    runner = AppRunner(machine, profile, seed=seed)
-    out = []
+    from ..perf.executor import RunCell, execute_cells
+
+    cells = []
     for n in node_counts:
-        out.append(
-            Comparison(
-                n_nodes=n,
-                linux=runner.run(linux, n, n_runs=n_runs),
-                mckernel=runner.run(mckernel, n, n_runs=n_runs),
-            )
-        )
-    return out
+        cells.append(RunCell(machine, profile, linux, n, n_runs, seed))
+        cells.append(RunCell(machine, profile, mckernel, n, n_runs, seed))
+    results = execute_cells(cells, jobs=jobs, cache=cache)
+    return [
+        Comparison(n_nodes=n, linux=results[2 * i],
+                   mckernel=results[2 * i + 1])
+        for i, n in enumerate(node_counts)
+    ]

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import SimulationError
@@ -147,7 +148,9 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self.in_use = 0
-        self._waiters: list[Event] = []
+        # FIFO grant queue; deque gives O(1) popleft where a list's
+        # pop(0) is O(n) per grant under contention.
+        self._waiters: deque[Event] = deque()
         #: Peak queue length observed (contention metric).
         self.max_queue = 0
 
@@ -166,7 +169,7 @@ class Resource:
         if self.in_use <= 0:
             raise SimulationError(f"release of idle resource {self.name!r}")
         if self._waiters:
-            ev = self._waiters.pop(0)
+            ev = self._waiters.popleft()
             ev.succeed(self)  # hand over directly; in_use unchanged
         else:
             self.in_use -= 1

@@ -1,0 +1,83 @@
+"""tools/bench_compare.py: format loading, thresholds, exit codes."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare",
+    pathlib.Path(__file__).parent.parent / "tools" / "bench_compare.py",
+)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+def _write(path, payload):
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_loads_pytest_benchmark_format(tmp_path):
+    path = tmp_path / "b.json"
+    _write(path, {"benchmarks": [
+        {"name": "bench_fig5", "stats": {"mean": 0.5, "stddev": 0.01}},
+        {"name": "bench_fig6", "stats": {"mean": 0.25}},
+    ]})
+    assert bench_compare.load_means(path) == {
+        "bench_fig5": 0.5, "bench_fig6": 0.25,
+    }
+
+
+def test_loads_plain_mapping_format(tmp_path):
+    path = tmp_path / "b.json"
+    _write(path, {"perfsmoke_serial_uncached": 0.9, "opt": 0.3})
+    assert bench_compare.load_means(path) == {
+        "perfsmoke_serial_uncached": 0.9, "opt": 0.3,
+    }
+
+
+def test_rejects_unknown_format(tmp_path):
+    path = tmp_path / "b.json"
+    _write(path, {"benchmarks": "not a list"})
+    with pytest.raises(SystemExit):
+        bench_compare.load_means(path)
+
+
+def test_within_threshold_passes(tmp_path, capsys):
+    base = _write(tmp_path / "base.json", {"a": 1.0, "b": 2.0})
+    cur = _write(tmp_path / "cur.json", {"a": 1.1, "b": 1.5})
+    assert bench_compare.main([base, cur]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_regression_fails(tmp_path, capsys):
+    base = _write(tmp_path / "base.json", {"a": 1.0, "b": 2.0})
+    cur = _write(tmp_path / "cur.json", {"a": 1.3, "b": 2.0})
+    assert bench_compare.main([base, cur]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "+30.0%" in out
+
+
+def test_custom_threshold(tmp_path):
+    base = _write(tmp_path / "base.json", {"a": 1.0})
+    cur = _write(tmp_path / "cur.json", {"a": 1.3})
+    assert bench_compare.main([base, cur, "--threshold", "0.5"]) == 0
+    assert bench_compare.main([base, cur, "--threshold", "0.1"]) == 1
+
+
+def test_added_and_removed_benchmarks_never_fail(tmp_path, capsys):
+    base = _write(tmp_path / "base.json", {"gone": 1.0, "kept": 1.0})
+    cur = _write(tmp_path / "cur.json", {"kept": 1.0, "fresh": 5.0})
+    assert bench_compare.main([base, cur]) == 0
+    out = capsys.readouterr().out
+    assert "removed" in out and "new" in out
+
+
+def test_missing_file_is_usage_error(tmp_path):
+    cur = _write(tmp_path / "cur.json", {"a": 1.0})
+    with pytest.raises(SystemExit):
+        bench_compare.main([str(tmp_path / "nope.json"), cur])

@@ -54,6 +54,40 @@ def test_fwq_validation(rng):
         fwq_iteration_lengths([], 1.0, 0, rng)
 
 
+def test_multi_core_matches_per_core_reference():
+    # The batched implementation must be bit-identical to per-core
+    # fwq_iteration_lengths calls on a shared RNG stream.
+    sources = [
+        _sar(),
+        NoiseSource("tick", interval=0.004, duration=Fixed(us(12))),
+        NoiseSource("rare", interval=30.0, duration=Fixed(ms(1)),
+                    occurrence=Occurrence.PERIODIC),
+    ]
+    batched = multi_core_fwq(sources, 6.5e-3, 2000, 8,
+                             np.random.default_rng(99))
+    ref_rng = np.random.default_rng(99)
+    reference = np.stack([
+        fwq_iteration_lengths(sources, 6.5e-3, 2000, ref_rng)
+        for _ in range(8)
+    ])
+    assert np.array_equal(batched, reference)
+
+
+def test_multi_core_no_sources_is_pure_work():
+    out = multi_core_fwq([], 6.5e-3, 50, 3, np.random.default_rng(0))
+    assert out.shape == (3, 50)
+    assert np.all(out == 6.5e-3)
+
+
+def test_multi_core_validation(rng):
+    with pytest.raises(ConfigurationError):
+        multi_core_fwq([], 6.5e-3, 10, 0, rng)
+    with pytest.raises(ConfigurationError):
+        multi_core_fwq([], 0.0, 10, 2, rng)
+    with pytest.raises(ConfigurationError):
+        multi_core_fwq([], 6.5e-3, 0, 2, rng)
+
+
 def test_multi_core_shapes_and_independence(rng):
     dense = NoiseSource("dense", interval=0.02, duration=Fixed(us(40)))
     out = multi_core_fwq([dense], 6.5e-3, 500, 4, rng)

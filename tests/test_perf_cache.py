@@ -1,0 +1,145 @@
+"""Run cache: content addressing, exact replay, invalidation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps import ALL_PROFILES
+from repro.errors import ConfigurationError
+from repro.kernel.linux import LinuxKernel
+from repro.kernel.tuning import ofp_default, untuned
+from repro.perf import PerfCounters, RunCache, RunCell, execute_cells, \
+    perf_context
+from repro.perf.cache import default_cache_dir, result_from_dict, \
+    result_to_dict
+from repro.perf.fingerprint import fingerprint, run_key
+
+
+@pytest.fixture
+def cell(ofp_machine, ofp_linux):
+    return RunCell(ofp_machine, ALL_PROFILES["LQCD"](), ofp_linux,
+                   n_nodes=64, n_runs=2, seed=5)
+
+
+# -- fingerprints -----------------------------------------------------
+
+
+def test_run_key_is_stable(cell):
+    assert cell.key() == cell.key()
+    assert cell.key(memo={}) == cell.key()  # memo changes cost, not keys
+
+
+def test_run_key_invalidates_on_coordinates(ofp_machine, ofp_linux, cell):
+    profile = ALL_PROFILES["LQCD"]()
+    base = cell.key()
+    for other in (
+        RunCell(ofp_machine, profile, ofp_linux, 64, 2, seed=6),
+        RunCell(ofp_machine, profile, ofp_linux, 128, 2, 5),
+        RunCell(ofp_machine, profile, ofp_linux, 64, 3, 5),
+        RunCell(ofp_machine, ALL_PROFILES["Milc"](), ofp_linux, 64, 2, 5),
+    ):
+        assert other.key() != base
+
+
+def test_run_key_invalidates_on_tuning(ofp_machine, cell):
+    retuned = LinuxKernel(ofp_machine.node, untuned(),
+                          interconnect=ofp_machine.interconnect)
+    other = RunCell(ofp_machine, ALL_PROFILES["LQCD"](), retuned,
+                    64, 2, 5)
+    assert other.key() != cell.key()
+
+
+def test_same_config_different_instances_share_a_key(ofp_machine, cell):
+    rebuilt = LinuxKernel(ofp_machine.node, ofp_default(),
+                          interconnect=ofp_machine.interconnect)
+    other = RunCell(ofp_machine, ALL_PROFILES["LQCD"](), rebuilt,
+                    64, 2, 5)
+    assert other.key() == cell.key()
+
+
+def test_fingerprint_rejects_undeterministic_objects():
+    with pytest.raises(ConfigurationError):
+        fingerprint(lambda: None)
+
+
+# -- serialization ----------------------------------------------------
+
+
+def test_result_roundtrip_is_exact(cell):
+    [result] = execute_cells([cell], jobs=1)
+    replayed = result_from_dict(json.loads(json.dumps(
+        result_to_dict(result))))
+    assert replayed == result
+
+
+# -- cache tiers ------------------------------------------------------
+
+
+def test_memory_tier(cell):
+    cache = RunCache()
+    [result] = execute_cells([cell], jobs=1, cache=cache)
+    assert cell.key() in cache
+    assert cache.get(cell.key()) is result
+    assert len(cache) == 1
+
+
+def test_disk_tier_replays_across_instances(tmp_path, cell):
+    [computed] = execute_cells([cell], jobs=1, cache=RunCache(tmp_path))
+    # A fresh instance (fresh process, in effect) replays from disk.
+    cold = RunCache(tmp_path)
+    replayed = cold.get(cell.key())
+    assert replayed == computed
+    counters = PerfCounters()
+    with perf_context(cache=RunCache(tmp_path), counters=counters):
+        [via_executor] = execute_cells([cell])
+    assert via_executor == computed
+    assert counters.counts["cache.hits"] == 1
+    assert "cache.misses" not in counters.counts
+
+
+def test_corrupt_entry_is_a_miss(tmp_path, cell):
+    cache = RunCache(tmp_path)
+    [computed] = execute_cells([cell], jobs=1, cache=cache)
+    path = tmp_path / f"{cell.key()}.json"
+    path.write_text("{truncated")
+    assert RunCache(tmp_path).get(cell.key()) is None
+    # The next populated run overwrites the corrupt entry.
+    [again] = execute_cells([cell], jobs=1, cache=RunCache(tmp_path))
+    assert again == computed
+    assert RunCache(tmp_path).get(cell.key()) == computed
+
+
+def test_clear_and_info(tmp_path, cell):
+    cache = RunCache(tmp_path)
+    execute_cells([cell], jobs=1, cache=cache)
+    info = cache.info()
+    assert info["directory"] == str(tmp_path)
+    assert info["disk_entries"] == 1
+    assert cache.clear() == 1
+    assert len(cache) == 0
+    assert cache.get(cell.key()) is None
+
+
+def test_malformed_keys_rejected(tmp_path):
+    cache = RunCache(tmp_path)
+    with pytest.raises(ConfigurationError):
+        cache.get("../escape")
+
+
+def test_default_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+    assert default_cache_dir() == tmp_path / "alt"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    assert default_cache_dir().name == "repro-runs"
+
+
+def test_hit_rate_counter(tmp_path, cell):
+    counters = PerfCounters()
+    with perf_context(cache=RunCache(tmp_path), counters=counters):
+        execute_cells([cell])
+        execute_cells([cell])
+    assert counters.counts["cache.misses"] == 1
+    assert counters.counts["cache.hits"] == 1
+    assert counters.hit_rate() == pytest.approx(0.5)

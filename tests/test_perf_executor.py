@@ -1,0 +1,133 @@
+"""Deterministic parallel execution: jobs>1 must be byte-identical to
+serial, and pool failures must degrade to serial, never to an error."""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.apps import ALL_PROFILES
+from repro.experiments import run_experiment
+from repro.experiments.appfigs import sweep_apps
+from repro.kernel.tuning import ofp_default
+from repro.perf import (
+    PerfCounters,
+    RunCell,
+    execute_cells,
+    get_context,
+    perf_context,
+)
+from repro.perf import executor as executor_mod
+from repro.runtime.runner import compare
+
+
+def assert_results_equal(a, b):
+    """Bit-for-bit equality of two RunResults."""
+    assert a.times == b.times
+    assert a.breakdown == b.breakdown
+    assert (a.app, a.machine, a.os_kind, a.n_nodes, a.n_threads) == \
+           (b.app, b.machine, b.os_kind, b.n_nodes, b.n_threads)
+
+
+def test_compare_parallel_matches_serial(ofp_machine, ofp_linux,
+                                         ofp_mckernel):
+    profile = ALL_PROFILES["LQCD"]()
+    serial = compare(ofp_machine, profile, ofp_linux, ofp_mckernel,
+                     [16, 64], n_runs=2, seed=3, jobs=1)
+    parallel = compare(ofp_machine, profile, ofp_linux, ofp_mckernel,
+                       [16, 64], n_runs=2, seed=3, jobs=4)
+    assert len(serial) == len(parallel) == 2
+    for s, p in zip(serial, parallel):
+        assert s.n_nodes == p.n_nodes
+        assert_results_equal(s.linux, p.linux)
+        assert_results_equal(s.mckernel, p.mckernel)
+
+
+def test_sweep_apps_parallel_matches_serial(ofp_machine):
+    kwargs = dict(machine=ofp_machine, tuning=ofp_default(),
+                  apps=["AMG2013", "Milc"], node_counts=[16, 64],
+                  n_runs=2, seed=7)
+    serial = sweep_apps(jobs=1, **kwargs)
+    parallel = sweep_apps(jobs=4, **kwargs)
+    assert serial.keys() == parallel.keys()
+    for app in serial:
+        for s, p in zip(serial[app], parallel[app]):
+            assert s.n_nodes == p.n_nodes
+            assert_results_equal(s.linux, p.linux)
+            assert_results_equal(s.mckernel, p.mckernel)
+
+
+def test_fig5_parallel_render_identical():
+    serial = run_experiment("fig5", fast=True, seed=0, jobs=1)
+    parallel = run_experiment("fig5", fast=True, seed=0, jobs=4)
+    assert parallel.render() == serial.render()
+    assert parallel.data == serial.data
+
+
+def test_cell_order_is_preserved(ofp_machine, ofp_linux, ofp_mckernel):
+    profile = ALL_PROFILES["Milc"]()
+    cells = [RunCell(ofp_machine, profile, os_i, n, 1, 0)
+             for n in (16, 64, 256) for os_i in (ofp_linux, ofp_mckernel)]
+    results = execute_cells(cells, jobs=4)
+    for cell, result in zip(cells, results):
+        assert result.n_nodes == cell.n_nodes
+        assert result.os_kind == cell.os_instance.kind
+
+
+def test_pool_failure_degrades_to_serial(monkeypatch, ofp_machine,
+                                         ofp_linux):
+    profile = ALL_PROFILES["AMG2013"]()
+    cells = [RunCell(ofp_machine, profile, ofp_linux, n, 1, 0)
+             for n in (16, 64)]
+    reference = execute_cells(cells, jobs=1)
+
+    def broken_pool(pool, todo, jobs):
+        raise BrokenProcessPool("worker died")
+
+    monkeypatch.setattr(executor_mod, "_run_pool", broken_pool)
+    counters = PerfCounters()
+    with perf_context(jobs=4, counters=counters):
+        results = execute_cells(cells)
+        assert get_context()._pool_broken
+    assert counters.counts["executor.pool_failures"] == 1
+    assert counters.counts["executor.serial_cells"] == len(cells)
+    for r, ref in zip(results, reference):
+        assert_results_equal(r, ref)
+
+
+def test_unpicklable_payload_degrades_to_serial(monkeypatch, ofp_machine,
+                                                ofp_linux):
+    profile = ALL_PROFILES["AMG2013"]()
+    cells = [RunCell(ofp_machine, profile, ofp_linux, n, 1, 0)
+             for n in (16, 64)]
+    reference = execute_cells(cells, jobs=1)
+
+    def unpicklable(pool, todo, jobs):
+        raise pickle.PicklingError("can't pickle")
+
+    monkeypatch.setattr(executor_mod, "_run_pool", unpicklable)
+    results = execute_cells(cells, jobs=4)
+    for r, ref in zip(results, reference):
+        assert_results_equal(r, ref)
+
+
+def test_model_errors_propagate(ofp_machine, ofp_linux):
+    profile = ALL_PROFILES["AMG2013"]()
+    bad = RunCell(ofp_machine, profile, ofp_linux, n_nodes=0, n_runs=1,
+                  seed=0)
+    with pytest.raises(Exception):
+        execute_cells([bad], jobs=1)
+
+
+def test_counters_record_fanout(ofp_machine, ofp_linux):
+    profile = ALL_PROFILES["Lulesh"]()
+    cells = [RunCell(ofp_machine, profile, ofp_linux, n, 1, 0)
+             for n in (16, 64, 256)]
+    counters = PerfCounters()
+    with perf_context(jobs=1, counters=counters):
+        execute_cells(cells)
+    assert counters.counts["executor.cells"] == 3
+    assert counters.counts["executor.serial_cells"] == 3
+    assert "executor.compute" in counters.timings

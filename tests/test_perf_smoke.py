@@ -1,0 +1,68 @@
+"""Opt-in wall-clock demo: parallel fan-out + the run cache make
+regenerating the application figures >= 2x faster than serial,
+uncached regeneration, with byte-identical output.
+
+Excluded from the default run (see ``-m "not perfsmoke"`` in
+pyproject.toml); run with ``pytest -m perfsmoke``.  Timings land in
+``benchmarks/out/BENCH_perfsmoke.json`` in the plain
+``{name: seconds}`` format ``tools/bench_compare.py`` consumes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.perf import RunCache, perf_context
+
+FIGURES = ["fig5", "fig6", "fig7"]
+ROUNDS = 4  # regeneration rounds: an edit-render-inspect loop
+OUT = pathlib.Path(__file__).parent.parent / "benchmarks" / "out"
+
+
+def _auto_jobs() -> int:
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:
+        return max(1, os.cpu_count() or 1)
+
+
+def _regenerate() -> list[str]:
+    return [run_experiment(f, fast=False, seed=0).render()
+            for f in FIGURES]
+
+
+@pytest.mark.perfsmoke
+def test_parallel_plus_cache_speedup(tmp_path):
+    # Baseline: ROUNDS serial, uncached regenerations.
+    t0 = time.perf_counter()
+    baseline_renders = [_regenerate() for _ in range(ROUNDS)]
+    serial_s = time.perf_counter() - t0
+
+    # Optimized: same rounds under one context — parallel fan-out on
+    # the cold round, cache replay on the warm ones.
+    jobs = _auto_jobs()
+    t0 = time.perf_counter()
+    with perf_context(jobs=jobs, cache=RunCache(tmp_path)):
+        optimized_renders = [_regenerate() for _ in range(ROUNDS)]
+    optimized_s = time.perf_counter() - t0
+
+    assert optimized_renders == baseline_renders  # byte-identical
+    speedup = serial_s / optimized_s
+    OUT.mkdir(exist_ok=True)
+    (OUT / "BENCH_perfsmoke.json").write_text(json.dumps({
+        "perfsmoke_serial_uncached": serial_s,
+        "perfsmoke_optimized": optimized_s,
+    }, indent=2) + "\n")
+    print(f"\n{ROUNDS} rounds of {'+'.join(FIGURES)} (full mode, "
+          f"jobs={jobs}): serial/uncached {serial_s:.3f} s, "
+          f"parallel+cached {optimized_s:.3f} s -> {speedup:.1f}x")
+    assert speedup >= 2.0, (
+        f"expected >= 2x, got {speedup:.2f}x "
+        f"({serial_s:.3f} s vs {optimized_s:.3f} s)"
+    )

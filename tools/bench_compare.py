@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Compare two benchmark timing files and fail on regressions.
+
+    python tools/bench_compare.py baseline.json current.json
+    python tools/bench_compare.py baseline.json current.json --threshold 0.1
+
+Accepts either timing format the repo produces:
+
+* pytest-benchmark exports (``pytest --benchmark-json=...``):
+  ``{"benchmarks": [{"name": ..., "stats": {"mean": ...}}, ...]}``;
+* plain mappings (e.g. ``benchmarks/out/BENCH_perfsmoke.json``):
+  ``{"name": seconds, ...}``.
+
+Benchmarks present in only one file are reported but never fail the
+comparison (suites grow and shrink); a common benchmark whose current
+mean exceeds baseline by more than ``--threshold`` (default 20%) does.
+Exit status: 0 = no regression, 1 = regression, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_means(path: pathlib.Path) -> dict[str, float]:
+    """``{benchmark name: mean seconds}`` from either supported format."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    if isinstance(payload, dict) and isinstance(
+            payload.get("benchmarks"), list):
+        return {
+            b["name"]: float(b["stats"]["mean"])
+            for b in payload["benchmarks"]
+        }
+    if isinstance(payload, dict) and all(
+            isinstance(v, (int, float)) for v in payload.values()):
+        return {str(k): float(v) for k, v in payload.items()}
+    raise SystemExit(
+        f"error: {path} is neither a pytest-benchmark export nor a "
+        f"plain {{name: seconds}} mapping"
+    )
+
+
+def compare(baseline: dict[str, float], current: dict[str, float],
+            threshold: float) -> tuple[list[str], bool]:
+    """Per-benchmark report lines and whether any regression exceeds
+    ``threshold`` (relative slowdown, e.g. 0.2 = 20%)."""
+    lines = []
+    failed = False
+    for name in sorted(set(baseline) | set(current)):
+        if name not in current:
+            lines.append(f"  {name:<40} removed (baseline only)")
+            continue
+        if name not in baseline:
+            lines.append(f"  {name:<40} new (no baseline)")
+            continue
+        old, new = baseline[name], current[name]
+        delta = (new - old) / old if old > 0 else 0.0
+        verdict = "ok"
+        if delta > threshold:
+            verdict = "REGRESSION"
+            failed = True
+        lines.append(f"  {name:<40} {old:.6f}s -> {new:.6f}s "
+                     f"({delta:+.1%}) {verdict}")
+    return lines, failed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two benchmark timing files; non-zero exit on "
+                    "regression")
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max tolerated relative slowdown "
+                             "(default 0.20 = 20%%)")
+    args = parser.parse_args(argv)
+    if args.threshold < 0:
+        parser.error("threshold must be non-negative")
+
+    lines, failed = compare(load_means(args.baseline),
+                            load_means(args.current), args.threshold)
+    print(f"benchmark comparison ({args.baseline} -> {args.current}, "
+          f"threshold {args.threshold:.0%}):")
+    for line in lines:
+        print(line)
+    if failed:
+        print("FAIL: at least one benchmark regressed past the threshold")
+        return 1
+    print("OK: no benchmark regressed past the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
