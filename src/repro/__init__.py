@@ -31,6 +31,7 @@ from . import (
     net,
     noise,
     perf,
+    platform,
     runtime,
     sim,
 )
@@ -58,32 +59,29 @@ def quick_compare(app: str, platform: str = "fugaku", nodes: int = 1024,
         One of ``repro.apps.ALL_PROFILES`` ("AMG2013", "Milc", "Lulesh",
         "LQCD", "GeoFEM", "GAMERA").
     platform:
-        "fugaku" or "ofp".
+        A registered platform name (``repro.platform.platform_names()``)
+        or one of the aliases "fugaku"/"a64fx"/"ofp"/"oakforest"/"knl".
     nodes:
         Job size in compute nodes.
 
     Returns the :class:`repro.runtime.Comparison` for the requested
     point.
     """
-    from .apps import ALL_PROFILES
-    from .hardware.machines import fugaku, oakforest_pacs
-    from .kernel.linux import LinuxKernel
-    from .kernel.tuning import fugaku_production, ofp_default
-    from .mckernel.lwk import boot_mckernel
-    from .runtime.runner import compare
+    from .platform import compare_platforms, get_platform, platform_names
 
-    if platform.lower() in ("fugaku", "a64fx"):
-        machine, tuning = fugaku(), fugaku_production()
-    elif platform.lower() in ("ofp", "oakforest", "oakforest-pacs", "knl"):
-        machine, tuning = oakforest_pacs(), ofp_default()
-    else:
+    aliases = {
+        "fugaku": "fugaku-production",
+        "a64fx": "fugaku-production",
+        "ofp": "ofp-default",
+        "oakforest": "ofp-default",
+        "oakforest-pacs": "ofp-default",
+        "knl": "ofp-default",
+    }
+    name = aliases.get(platform.lower(), platform)
+    if name not in platform_names():
         raise ConfigurationError(f"unknown platform {platform!r}")
-    profile = ALL_PROFILES[app]()
-    linux = LinuxKernel(machine.node, tuning,
-                        interconnect=machine.interconnect)
-    mck = boot_mckernel(machine.node, host_tuning=tuning)
-    return compare(machine, profile, linux, mck, [nodes],
-                   n_runs=n_runs, seed=seed)[0]
+    return compare_platforms(get_platform(name), app, [nodes],
+                             n_runs=n_runs, seed=seed)[0]
 
 
 __all__ = [
@@ -95,6 +93,7 @@ __all__ = [
     "net",
     "noise",
     "perf",
+    "platform",
     "runtime",
     "sim",
     "quick_compare",

@@ -2,13 +2,22 @@
 
     python -m repro list
     python -m repro experiments table2 [--full] [--seed N] [--jobs N] [--stats]
+    python -m repro experiments table2 --spec my_platform.json
+    python -m repro platform list
+    python -m repro platform show fugaku-production
+    python -m repro platform validate my_platform.json
+    python -m repro run my_run.json
+    python -m repro run my_platform.json --app LQCD --nodes 2048
     python -m repro compare LQCD --platform fugaku --nodes 2048
     python -m repro fwq --platform fugaku --os mckernel --duration 60
     python -m repro cache info|clear
 
 The CLI is a thin shell over the library; anything it prints can be
-obtained programmatically from :mod:`repro.experiments` and
-:func:`repro.quick_compare`.
+obtained programmatically from :mod:`repro.experiments`,
+:mod:`repro.platform` and :func:`repro.quick_compare`.  Platforms are
+declarative JSON documents (:class:`repro.platform.PlatformSpec`):
+``platform show`` prints any registry entry as a starting point, and
+every spec-accepting command takes a JSON file in its place.
 
 Experiment runs fan their sweeps out over ``--jobs`` worker processes
 (``0`` = one per available CPU) and memoize RunResults in the run
@@ -58,22 +67,101 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_spec_file(path: str):
+    from .errors import ConfigurationError
+    from .platform import load_spec
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read spec {path!r}: {exc}")
+    return load_spec(text)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
     from .experiments import run_experiment
     from .perf.context import perf_context
     from .perf.counters import PerfCounters
+    from .platform import PlatformSpec
 
+    platform = None
+    if args.spec:
+        platform = _load_spec_file(args.spec)
+        if not isinstance(platform, PlatformSpec):
+            raise ConfigurationError(
+                f"{args.spec}: experiments take a platform spec, not a "
+                "run spec (drop the 'platform'/'app' nesting)")
     jobs = _auto_jobs() if args.jobs == 0 else args.jobs
     counters = PerfCounters()
     with perf_context(jobs=jobs, cache=_make_cache(args), counters=counters):
         for eid in args.ids:
-            result = run_experiment(eid, fast=not args.full, seed=args.seed)
+            result = run_experiment(eid, fast=not args.full, seed=args.seed,
+                                    platform=platform)
             print(result.render())
             if result.paper_reference:
                 print(f"[paper reference: {result.paper_reference}]")
             print()
     if args.stats:
         print(counters.report())
+    return 0
+
+
+def _cmd_platform(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+    from .platform import build, get_platform, platform_names
+
+    if args.action != "list" and not args.name:
+        raise ConfigurationError(
+            f"platform {args.action} needs a "
+            f"{'name' if args.action == 'show' else 'spec JSON file'}")
+    if args.action == "list":
+        for name in platform_names():
+            spec = get_platform(name)
+            print(f"  {name:<24} {spec.machine:<16} "
+                  f"{spec.os_kind:<9} {spec.tuning}")
+    elif args.action == "show":
+        print(get_platform(args.name).to_json(indent=2))
+    else:  # validate
+        spec = _load_spec_file(args.name)
+        kind = type(spec).__name__
+        # Resolving proves the spec composes, not just parses.
+        from .platform import RunSpec
+
+        platform = spec.platform if isinstance(spec, RunSpec) else spec
+        build(platform)
+        print(f"{args.name}: valid {kind} ({platform.name!r})")
+        if isinstance(spec, RunSpec):
+            print(f"fingerprint: {spec.fingerprint()}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+    from .platform import PlatformSpec, RunSpec, run_cells
+
+    spec = _load_spec_file(args.spec)
+    if isinstance(spec, PlatformSpec):
+        if not args.app:
+            raise ConfigurationError(
+                f"{args.spec} is a platform spec; pass --app (and "
+                "--nodes) to make it a run, or supply a run spec")
+        spec = RunSpec(platform=spec, app=args.app, n_nodes=args.nodes,
+                       n_runs=args.runs, seed=args.seed)
+    elif args.app:
+        raise ConfigurationError(
+            f"{args.spec} is already a run spec; --app conflicts")
+    result = run_cells([spec], cache=_make_cache(args))[0]
+    print(f"{result.app} on {result.machine} / {result.os_kind}, "
+          f"{result.n_nodes} nodes ({result.n_threads} HW threads):")
+    print(f"  mean time : {result.mean_time:9.3f} s "
+          f"(+/- {result.std_time:.3f})")
+    b = result.breakdown
+    print(f"  breakdown [s]: compute={b.compute:.2f} tlb={b.tlb:.3f} "
+          f"churn={b.churn:.3f} collective={b.collective:.3f} "
+          f"noise={b.noise:.3f} init={b.init:.3f}")
+    print(f"  fingerprint: {spec.fingerprint()}")
     return 0
 
 
@@ -112,28 +200,29 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_fwq(args: argparse.Namespace) -> int:
-    from .apps.fwq import FwqConfig, run_fwq_on
-    from .hardware.machines import fugaku, oakforest_pacs
-    from .kernel.linux import LinuxKernel
-    from .kernel.tuning import fugaku_production, ofp_default, untuned
-    from .mckernel.lwk import boot_mckernel
+    from .apps.fwq import FwqConfig, run_fwq
+    from .platform import NoiseSwitches, PlatformSpec, build
     from .units import to_us
 
-    if args.platform == "fugaku":
-        machine, tuning = fugaku(), fugaku_production()
-    else:
-        machine, tuning = oakforest_pacs(), ofp_default()
+    machine = "fugaku" if args.platform == "fugaku" else "oakforest-pacs"
     if args.tuning == "untuned":
-        tuning = untuned()
-    if args.os == "linux":
-        os_instance = LinuxKernel(machine.node, tuning,
-                                  interconnect=machine.interconnect)
+        tuning = "untuned"
     else:
-        os_instance = boot_mckernel(machine.node, host_tuning=tuning)
+        tuning = ("fugaku-production" if args.platform == "fugaku"
+                  else "ofp-default")
+    spec = PlatformSpec(
+        name=f"fwq/{args.platform}/{args.os}/{tuning}",
+        machine=machine, os_kind=args.os, tuning=tuning,
+        # Single-node, short-horizon characterisation: node-level
+        # straggler events would only distort a seeded short run.
+        noise=NoiseSwitches(include_stragglers=False),
+    )
+    resolved = build(spec)
     rng = np.random.default_rng(args.seed)
-    result = run_fwq_on(os_instance, FwqConfig(duration=args.duration), rng)
-    print(f"FWQ on {machine.name} / {args.os} ({tuning.name}), "
-          f"{args.duration:.0f} s:")
+    result = run_fwq(resolved.noise_sources(),
+                     FwqConfig(duration=args.duration), rng)
+    print(f"FWQ on {resolved.machine.name} / {args.os} "
+          f"({resolved.tuning.name}), {args.duration:.0f} s:")
     print(f"  iterations       : {len(result.iteration_lengths)}")
     print(f"  max noise length : {to_us(result.max_noise_length):.2f} us")
     print(f"  noise rate (Eq.2): {result.noise_rate:.3e}")
@@ -177,6 +266,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--cache-dir", metavar="DIR",
                        help="run cache directory (default: "
                             "$REPRO_CACHE_DIR or ~/.cache/repro-runs)")
+    p_exp.add_argument("--spec", metavar="FILE",
+                       help="platform spec JSON to re-target "
+                            "platform-parameterised experiments at")
+
+    p_plat = sub.add_parser("platform",
+                            help="list, show or validate platform specs")
+    p_plat.add_argument("action", choices=["list", "show", "validate"])
+    p_plat.add_argument("name", nargs="?",
+                        help="platform name (show) or spec JSON file "
+                             "(validate)")
+
+    p_run = sub.add_parser(
+        "run", help="execute one run/platform spec JSON")
+    p_run.add_argument("spec", help="RunSpec or PlatformSpec JSON file")
+    p_run.add_argument("--app", help="application (with a platform spec)")
+    p_run.add_argument("--nodes", type=int, default=1024)
+    p_run.add_argument("--runs", type=int, default=3)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="disable the memoized run cache")
+    p_run.add_argument("--cache-dir", metavar="DIR",
+                       help="run cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro-runs)")
 
     p_cache = sub.add_parser("cache", help="inspect or clear the run cache")
     p_cache.add_argument("action", choices=["info", "clear"])
@@ -186,8 +298,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="Linux vs McKernel for one app")
     p_cmp.add_argument("app")
-    p_cmp.add_argument("--platform", choices=["fugaku", "ofp"],
-                       default="fugaku")
+    p_cmp.add_argument("--platform", default="fugaku",
+                       help="registered platform name or alias "
+                            "(fugaku, ofp, ...; see 'platform list')")
     p_cmp.add_argument("--nodes", type=int, default=1024)
     p_cmp.add_argument("--runs", type=int, default=3)
     p_cmp.add_argument("--seed", type=int, default=0)
@@ -218,6 +331,8 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "experiment": _cmd_experiment,
         "experiments": _cmd_experiment,
+        "platform": _cmd_platform,
+        "run": _cmd_run,
         "compare": _cmd_compare,
         "export": _cmd_export,
         "fwq": _cmd_fwq,

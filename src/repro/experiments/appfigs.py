@@ -1,25 +1,22 @@
 """Shared machinery for the application figures (Figs. 5-7).
 
 Each figure is a node-count sweep of Linux-normalised McKernel
-performance for a set of applications on one machine.
+performance for a set of applications on one *platform* — a
+declarative :class:`~repro.platform.spec.PlatformSpec` resolved
+through :func:`repro.platform.build`, so a figure can be re-run on a
+user-defined machine purely from JSON.
 """
 
 from __future__ import annotations
 
-from ..apps import ALL_PROFILES
-from ..hardware.machines import Machine
-from ..kernel.linux import LinuxKernel
-from ..kernel.tuning import LinuxTuning
-from ..mckernel.lwk import boot_mckernel
-from ..perf.executor import RunCell, execute_cells
+from ..platform import PlatformSpec, sweep_platform_apps
 from ..runtime.runner import Comparison
 from .asciiplot import line_plot
 from .report import ExperimentResult, format_series, format_table
 
 
 def sweep_apps(
-    machine: Machine,
-    tuning: LinuxTuning,
+    platform: PlatformSpec,
     apps: list[str],
     node_counts: list[int],
     n_runs: int,
@@ -29,30 +26,15 @@ def sweep_apps(
 ) -> dict[str, list[Comparison]]:
     """Linux-vs-McKernel comparisons for every (app, node count).
 
-    The full (app, OS, n_nodes) cell grid is flattened into one
+    Both OS personalities are derived from ``platform`` and the full
+    (app, OS, n_nodes) cell grid is flattened into one
     :func:`repro.perf.execute_cells` fan-out so a parallel context
     keeps all workers busy across application boundaries; results are
     reassembled in (app, node count) order, bit-identical to a serial
     sweep.
     """
-    linux = LinuxKernel(machine.node, tuning,
-                        interconnect=machine.interconnect)
-    mck = boot_mckernel(machine.node, host_tuning=tuning)
-    cells = []
-    for app in apps:
-        profile = ALL_PROFILES[app]()
-        for n in node_counts:
-            cells.append(RunCell(machine, profile, linux, n, n_runs, seed))
-            cells.append(RunCell(machine, profile, mck, n, n_runs, seed))
-    results = execute_cells(cells, jobs=jobs, cache=cache)
-    out: dict[str, list[Comparison]] = {}
-    flat = iter(results)
-    for app in apps:
-        out[app] = [
-            Comparison(n_nodes=n, linux=next(flat), mckernel=next(flat))
-            for n in node_counts
-        ]
-    return out
+    return sweep_platform_apps(platform, apps, node_counts, n_runs,
+                               seed, jobs=jobs, cache=cache)
 
 
 def figure_result(

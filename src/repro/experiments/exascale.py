@@ -14,35 +14,28 @@ ceiling as N grows.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
-from ..apps import ALL_PROFILES
-from ..hardware.machines import fugaku
-from ..kernel.linux import LinuxKernel
-from ..kernel.tuning import fugaku_production
-from ..mckernel.lwk import boot_mckernel
-from ..runtime.runner import compare
+from ..platform import PlatformSpec, compare_platforms, get_platform
 from .report import ExperimentResult, format_table
 
 
-def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
-    base = fugaku()
+def run(fast: bool = True, seed: int = 0,
+        platform: PlatformSpec | None = None) -> ExperimentResult:
+    if platform is None:
+        platform = get_platform("fugaku-production")
+    base = platform.resolved_machine()
     scales = [1, 2, 4] if fast else [1, 2, 4, 8]
-    tuning = fugaku_production()
-    linux = LinuxKernel(base.node, tuning)
-    mck = boot_mckernel(base.node, host_tuning=tuning)
 
     rows = []
     data: dict[str, dict] = {}
     for app in ("LQCD", "GeoFEM"):
-        profile = ALL_PROFILES[app]()
         gains = []
         for scale in scales:
-            machine = replace(base, n_nodes=base.n_nodes * scale,
-                              name=f"Fugaku-x{scale}")
-            comp = compare(machine, profile, linux, mck,
-                           [machine.n_nodes], n_runs=3 if fast else 5,
-                           seed=seed)[0]
+            n_nodes = base.n_nodes * scale
+            scaled = platform.with_machine(
+                n_nodes=n_nodes, name=f"{base.name}-x{scale}")
+            comp = compare_platforms(scaled, app, [n_nodes],
+                                     n_runs=3 if fast else 5,
+                                     seed=seed)[0]
             gains.append(comp.speedup_percent)
         data[app] = {
             "scale_factors": scales,

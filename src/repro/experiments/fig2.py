@@ -10,16 +10,25 @@ figure doubles as a structural self-check.
 
 from __future__ import annotations
 
-from ..hardware.machines import fugaku
-from ..kernel.tuning import fugaku_production
-from ..mckernel.lwk import boot_mckernel
+from ..errors import ConfigurationError
+from ..platform import PlatformSpec, build, get_platform
 from ..units import fmt_bytes
 from .report import ExperimentResult
 
 
-def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
-    machine = fugaku()
-    mck = boot_mckernel(machine.node, host_tuning=fugaku_production())
+def run(fast: bool = True, seed: int = 0,
+        platform: PlatformSpec | None = None) -> ExperimentResult:
+    if platform is None:
+        platform = get_platform("fugaku-mckernel")
+    if platform.os_kind != "mckernel":
+        raise ConfigurationError(
+            "fig2 renders the IHK/McKernel architecture; platform "
+            f"{platform.name!r} has os_kind={platform.os_kind!r}")
+    # fresh=True: the rendering spawns a live process on the instance,
+    # which must not leak pid state into the shared resolution memo.
+    resolved = build(platform, fresh=True)
+    machine = resolved.machine
+    mck = resolved.os_instance
     proc = mck.spawn(memory_scale=0.001)
     proc.syscall("open", "/etc/hosts")  # populate the delegation path
 

@@ -11,26 +11,30 @@ from __future__ import annotations
 import numpy as np
 
 from ..apps.fwq import FwqConfig
-from ..hardware.machines import a64fx_testbed
-from ..kernel.linux import LinuxKernel
-from ..kernel.tuning import fugaku_production
+from ..errors import ConfigurationError
 from ..noise.analytic import noise_lengths
-from ..noise.catalog import noise_sources_for
 from ..noise.mitigation import countermeasure_sweep
 from ..noise.sampler import fwq_iteration_lengths
+from ..platform import PlatformSpec, build, get_platform
 from ..sim.rng import fnv1a_64
 from ..units import to_us
 from .report import ExperimentResult
 
 
-def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
-    machine = a64fx_testbed()
+def run(fast: bool = True, seed: int = 0,
+        platform: PlatformSpec | None = None) -> ExperimentResult:
+    if platform is None:
+        platform = get_platform("a64fx-testbed")
+    if platform.os_kind != "linux":
+        raise ConfigurationError(
+            "fig3 sweeps Linux countermeasures; platform "
+            f"{platform.name!r} has os_kind={platform.os_kind!r}")
     config = FwqConfig(duration=120.0 if fast else 360.0)
     series: dict[str, np.ndarray] = {}
-    for label, tuning in countermeasure_sweep(fugaku_production()).items():
+    for label, tuning in countermeasure_sweep(platform.resolved_tuning()).items():
         rng = np.random.default_rng([seed, fnv1a_64("fig3/" + label)])
-        kernel = LinuxKernel(machine.node, tuning)
-        sources = noise_sources_for(kernel, include_stragglers=False)
+        resolved = build(platform.with_tuning(tuning))
+        sources = resolved.noise_sources()
         lengths = fwq_iteration_lengths(
             sources, config.quantum, config.iterations_per_run, rng
         )

@@ -19,27 +19,24 @@ from __future__ import annotations
 import numpy as np
 
 from ..apps.fwq import DEFAULT_QUANTUM, FwqConfig, run_mpi_fwq
-from ..hardware.machines import NODES_PER_RACK, fugaku, oakforest_pacs
-from ..kernel.base import OsInstance
-from ..kernel.linux import LinuxKernel
-from ..kernel.tuning import fugaku_production, ofp_default
-from ..mckernel.lwk import boot_mckernel
+from ..hardware.machines import NODES_PER_RACK
 from ..noise.analytic import IterationMixture
-from ..noise.catalog import noise_sources_for
+from ..platform import ResolvedPlatform, build, get_platform
 from ..sim.rng import fnv1a_64
 from ..units import to_ms
 from .report import ExperimentResult, format_table
 
 
 def _curve(
-    os_instance: OsInstance,
+    resolved: ResolvedPlatform,
     n_nodes: int,
     cores_per_node: int,
     config: FwqConfig,
     seed: int,
     mc_nodes: int,
 ) -> dict:
-    sources = noise_sources_for(os_instance, include_stragglers=True)
+    os_instance = resolved.os_instance
+    sources = resolved.noise_sources()
     n_iter = config.iterations_per_run * config.repeats
     pool = float(n_nodes) * cores_per_node * n_iter
     if sources:
@@ -79,13 +76,10 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
     )
     mc_nodes = 24 if fast else 128
 
-    ofp = oakforest_pacs()
-    ofp_linux = LinuxKernel(ofp.node, ofp_default(),
-                            interconnect=ofp.interconnect)
-    ofp_mck = boot_mckernel(ofp.node, host_tuning=ofp_default())
-    fug = fugaku()
-    fug_linux = LinuxKernel(fug.node, fugaku_production())
-    fug_mck = boot_mckernel(fug.node, host_tuning=fugaku_production())
+    ofp_linux = build(get_platform("ofp-default"))
+    ofp_mck = build(get_platform("ofp-mckernel"))
+    fug_linux = build(get_platform("fugaku-production"))
+    fug_mck = build(get_platform("fugaku-mckernel"))
 
     racks24 = 24 * NODES_PER_RACK
     curves = {
@@ -94,7 +88,8 @@ def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
         "OFP McKernel (1,024 nodes)": _curve(
             ofp_mck, 1024, 256, config, seed, mc_nodes),
         "Fugaku Linux (full scale)": _curve(
-            fug_linux, fug.n_nodes, 48, config, seed, mc_nodes),
+            fug_linux, fug_linux.machine.n_nodes, 48, config, seed,
+            mc_nodes),
         "Fugaku Linux (24 racks)": _curve(
             fug_linux, racks24, 48, config, seed + 1, mc_nodes),
         "Fugaku McKernel (24 racks)": _curve(

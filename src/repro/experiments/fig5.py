@@ -8,8 +8,7 @@ McKernel performance normalised to Linux = 1.  Paper shapes: AMG up to
 
 from __future__ import annotations
 
-from ..hardware.machines import oakforest_pacs
-from ..kernel.tuning import ofp_default
+from ..platform import PlatformSpec, get_platform
 from .appfigs import figure_result, sweep_apps
 from .report import ExperimentResult
 
@@ -20,10 +19,13 @@ PAPER_REFERENCE = {
 }
 
 
-def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+def run(fast: bool = True, seed: int = 0,
+        platform: PlatformSpec | None = None) -> ExperimentResult:
+    if platform is None:
+        platform = get_platform("ofp-default")
     counts = [16, 128, 1024, 8192] if fast else [16, 64, 256, 1024, 4096, 8192]
     comps = sweep_apps(
-        oakforest_pacs(), ofp_default(),
+        platform,
         ["AMG2013", "Milc", "Lulesh"],
         counts, n_runs=3 if fast else 5, seed=seed,
     )

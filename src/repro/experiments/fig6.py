@@ -7,8 +7,7 @@ Paper shapes: LQCD gains grow to ~+25% at 2k nodes; GeoFEM reaches
 
 from __future__ import annotations
 
-from ..hardware.machines import oakforest_pacs
-from ..kernel.tuning import ofp_default
+from ..platform import PlatformSpec, get_platform
 from .appfigs import figure_result, sweep_apps
 from .report import ExperimentResult
 
@@ -19,18 +18,19 @@ PAPER_REFERENCE = {
 }
 
 
-def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
-    machine = oakforest_pacs()
-    tuning = ofp_default()
+def run(fast: bool = True, seed: int = 0,
+        platform: PlatformSpec | None = None) -> ExperimentResult:
+    if platform is None:
+        platform = get_platform("ofp-default")
     n_runs = 3 if fast else 5
     comps = {}
-    comps.update(sweep_apps(machine, tuning, ["LQCD"],
+    comps.update(sweep_apps(platform, ["LQCD"],
                             [256, 512, 1024, 2048], n_runs, seed))
-    comps.update(sweep_apps(machine, tuning, ["GeoFEM"],
+    comps.update(sweep_apps(platform, ["GeoFEM"],
                             [16, 128, 1024, 8192] if fast
                             else [16, 64, 256, 1024, 4096, 8192],
                             n_runs, seed))
-    comps.update(sweep_apps(machine, tuning, ["GAMERA"],
+    comps.update(sweep_apps(platform, ["GAMERA"],
                             [512, 1024, 2048, 4096], n_runs, seed))
     return figure_result(
         "fig6",

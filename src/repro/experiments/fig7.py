@@ -9,8 +9,7 @@ of scale; only GAMERA's gain grows with node count, reaching ~+29% at
 
 from __future__ import annotations
 
-from ..hardware.machines import fugaku
-from ..kernel.tuning import fugaku_production
+from ..platform import PlatformSpec, get_platform
 from .appfigs import figure_result, sweep_apps
 from .report import ExperimentResult
 
@@ -21,10 +20,13 @@ PAPER_REFERENCE = {
 }
 
 
-def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+def run(fast: bool = True, seed: int = 0,
+        platform: PlatformSpec | None = None) -> ExperimentResult:
+    if platform is None:
+        platform = get_platform("fugaku-production")
     counts = [512, 2048, 8192] if fast else [512, 1024, 2048, 4096, 8192]
     comps = sweep_apps(
-        fugaku(), fugaku_production(),
+        platform,
         ["LQCD", "GeoFEM", "GAMERA"],
         counts, n_runs=3 if fast else 5, seed=seed,
     )

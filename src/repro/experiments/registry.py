@@ -45,7 +45,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
 
 
 def run_experiment(experiment_id: str, fast: bool = True, seed: int = 0,
-                   jobs: int = 1, cache=None) -> ExperimentResult:
+                   jobs: int = 1, cache=None,
+                   platform=None) -> ExperimentResult:
     """Run one registered experiment by id.
 
     ``jobs > 1`` fans the experiment's sweep cells out over worker
@@ -53,6 +54,10 @@ def run_experiment(experiment_id: str, fast: bool = True, seed: int = 0,
     underlying RunResults.  Both leave the output bit-identical to the
     serial, uncached run.  Defaults inherit any ambient
     :func:`repro.perf.perf_context` (so ``run_all(jobs=4)`` composes).
+
+    ``platform`` (a :class:`repro.platform.PlatformSpec`) re-targets
+    the experiment at another platform; only experiments whose runner
+    is platform-parameterised accept it.
     """
     try:
         _, runner = EXPERIMENTS[experiment_id]
@@ -61,12 +66,23 @@ def run_experiment(experiment_id: str, fast: bool = True, seed: int = 0,
             f"unknown experiment {experiment_id!r}; "
             f"known: {sorted(EXPERIMENTS)}"
         ) from None
+    kwargs = {"fast": fast, "seed": seed}
+    if platform is not None:
+        import inspect
+
+        if "platform" not in inspect.signature(runner).parameters:
+            raise ConfigurationError(
+                f"experiment {experiment_id!r} is not "
+                "platform-parameterised (its layout is fixed by the "
+                "paper); run it without --spec/platform"
+            )
+        kwargs["platform"] = platform
     if jobs != 1 or cache is not None:
         from ..perf.context import perf_context
 
         with perf_context(jobs=jobs, cache=cache):
-            return runner(fast=fast, seed=seed)
-    return runner(fast=fast, seed=seed)
+            return runner(**kwargs)
+    return runner(**kwargs)
 
 
 def run_all(fast: bool = True, seed: int = 0, jobs: int = 1,

@@ -11,29 +11,34 @@ from __future__ import annotations
 import numpy as np
 
 from ..apps.fwq import FwqConfig, run_fwq
-from ..hardware.machines import a64fx_testbed
-from ..kernel.linux import LinuxKernel
-from ..kernel.tuning import fugaku_production
-from ..noise.catalog import noise_sources_for
+from ..errors import ConfigurationError
 from ..noise.mitigation import TABLE2_PAPER, countermeasure_sweep
 from ..noise.sampler import multi_core_fwq
+from ..platform import PlatformSpec, build, get_platform
 from ..sim.rng import fnv1a_64
 from ..units import to_us
 from .report import ExperimentResult, format_table
 
 
-def run(fast: bool = True, seed: int = 0) -> ExperimentResult:
+def run(fast: bool = True, seed: int = 0,
+        platform: PlatformSpec | None = None) -> ExperimentResult:
     """``fast`` samples 4 cores x ~10 minutes per row; the full mode
     samples 16 cores x 1 hour (closer to the paper's pooled volume)."""
-    machine = a64fx_testbed()
+    if platform is None:
+        platform = get_platform("a64fx-testbed")
+    if platform.os_kind != "linux":
+        raise ConfigurationError(
+            "table2 sweeps Linux countermeasures; platform "
+            f"{platform.name!r} has os_kind={platform.os_kind!r}")
     config = FwqConfig(duration=600.0 if fast else 3600.0)
     n_cores = 4 if fast else 16
     rows = []
     data: dict[str, dict] = {}
-    for label, tuning in countermeasure_sweep(fugaku_production()).items():
+    base_tuning = platform.resolved_tuning()
+    for label, tuning in countermeasure_sweep(base_tuning).items():
         rng = np.random.default_rng([seed, fnv1a_64(label)])
-        kernel = LinuxKernel(machine.node, tuning)
-        sources = noise_sources_for(kernel, include_stragglers=False)
+        resolved = build(platform.with_tuning(tuning))
+        sources = resolved.noise_sources()
         lengths = multi_core_fwq(
             sources, config.quantum, config.iterations_per_run,
             n_cores, rng,

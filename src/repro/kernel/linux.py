@@ -58,6 +58,9 @@ class LinuxKernel(OsInstance):
         self.node = node
         self.tuning = tuning
         self.costs = costs
+        #: The machine interconnect the IRQ table was built for (kept so
+        #: platform-level tests can assert uniform OS construction).
+        self.interconnect = interconnect
         if tasks is not None:
             self.tasks = list(tasks)
         elif node.arch == "x86_64":

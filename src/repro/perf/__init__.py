@@ -26,7 +26,7 @@ from .cache import RunCache, default_cache_dir
 from .context import PerfContext, get_context, perf_context
 from .counters import PerfCounters, get_counters
 from .executor import RunCell, execute_cells
-from .fingerprint import fingerprint, run_key
+from .fingerprint import fingerprint, run_key, spec_key
 
 __all__ = [
     "PerfContext",
@@ -40,4 +40,5 @@ __all__ = [
     "get_counters",
     "perf_context",
     "run_key",
+    "spec_key",
 ]

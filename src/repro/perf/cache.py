@@ -13,6 +13,11 @@ The cache directory resolves to ``$REPRO_CACHE_DIR`` when set, else
 ``~/.cache/repro-runs``.  JSON float serialization uses ``repr``
 round-tripping, so a cached replay reconstructs every wall time and
 breakdown component bit-for-bit — rendered figure text is unchanged.
+
+Disk entries written from spec-driven sweeps embed the canonical
+:class:`~repro.platform.spec.RunSpec` JSON whose SHA-256 is the file
+name, so every entry is self-describing: ``{"spec": {...}, "result":
+{...}}`` — cache identity is auditable with a text editor.
 """
 
 from __future__ import annotations
@@ -117,16 +122,26 @@ class RunCache:
             # Missing, unreadable or corrupt entry: treat as a miss (a
             # corrupt file is overwritten by the next put).
             return None
-        result = result_from_dict(payload)
+        try:
+            result = result_from_dict(payload.get("result", payload))
+        except (KeyError, TypeError, ValueError):
+            return None
         self._memory[key] = result
         return result
 
-    def put(self, key: str, result: "RunResult") -> None:
+    def put(self, key: str, result: "RunResult", spec=None) -> None:
+        """Store a result; ``spec`` (a RunSpec) makes the disk entry
+        self-describing — the JSON that hashed to ``key`` is written
+        next to the result, so cache identity is auditable with a text
+        editor."""
         self._memory[key] = result
         if self.directory is None:
             return
         path = self._path(key)
-        payload = json.dumps(result_to_dict(result))
+        entry = {"result": result_to_dict(result)}
+        if spec is not None:
+            entry["spec"] = spec.to_dict()
+        payload = json.dumps(entry)
         # Atomic publish: never expose a half-written entry.
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:

@@ -25,19 +25,27 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from .context import get_context
 from .counters import get_counters
-from .fingerprint import run_key
+from .fingerprint import run_key, spec_key
 
 if TYPE_CHECKING:
     from ..apps.base import WorkloadProfile
     from ..hardware.machines import Machine
     from ..kernel.base import OsInstance
+    from ..platform.spec import RunSpec
     from ..runtime.runner import RunResult
     from .cache import RunCache
 
 
 @dataclass(frozen=True)
 class RunCell:
-    """One independent unit of sweep work."""
+    """One independent unit of sweep work.
+
+    Cells built by the :mod:`repro.platform` sweep helpers carry the
+    declarative :class:`RunSpec` they came from; their cache key is
+    then the SHA-256 of the spec's canonical JSON (auditable from the
+    on-disk entry).  Raw-object cells fall back to the recursive
+    object-walk fingerprint.
+    """
 
     machine: "Machine"
     profile: "WorkloadProfile"
@@ -45,9 +53,12 @@ class RunCell:
     n_nodes: int
     n_runs: int
     seed: int
+    spec: Optional["RunSpec"] = None
 
     def key(self, memo: dict | None = None) -> str:
         """Content address of this cell (the cache key)."""
+        if self.spec is not None:
+            return spec_key(self.spec)
         return run_key(self.machine, self.profile, self.os_instance,
                        self.n_nodes, self.n_runs, self.seed, memo=memo)
 
@@ -117,7 +128,7 @@ def execute_cells(
     for i, result in zip(pending, computed):
         results[i] = result
         if cache is not None:
-            cache.put(keys[i], result)
+            cache.put(keys[i], result, spec=cells[i].spec)
     return results  # type: ignore[return-value]
 
 

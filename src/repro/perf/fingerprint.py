@@ -1,13 +1,17 @@
 """Content fingerprints: stable digests of run configurations.
 
-The run cache is *content-addressed*: a key is the SHA-256 of a
-canonical serialization of everything a :meth:`AppRunner.run` outcome
-depends on — machine, workload profile, OS personality (node spec,
-tuning, cost model, feature switches), node count, repetition count and
-root seed.  Any change to any component (a tuning flag, a cost-model
-price, a profile field, the package version) produces a different key,
-so stale entries can never be returned; they are simply never looked
-up again.
+The run cache is *content-addressed*.  The primary path is
+:func:`spec_key`: cells constructed from a declarative
+:class:`~repro.platform.spec.RunSpec` are keyed by the SHA-256 of the
+spec's canonical JSON, so cache identity is auditable from a text
+artifact.  Cells built from raw objects fall back to :func:`run_key`,
+a canonical serialization of everything a :meth:`AppRunner.run`
+outcome depends on — machine, workload profile, OS personality (node
+spec, tuning, cost model, feature switches), node count, repetition
+count and root seed.  Either way, any change to any component (a
+tuning flag, a cost-model price, a profile field, the package version)
+produces a different key, so stale entries can never be returned; they
+are simply never looked up again.
 
 Canonicalization walks dataclasses, enums, containers and NumPy
 scalars/arrays recursively.  Objects whose ``repr`` is not
@@ -33,7 +37,12 @@ if TYPE_CHECKING:
 
 #: Bump when the RunResult serialization or the key layout changes;
 #: part of every digest, so old on-disk entries become unreachable.
-SCHEMA_VERSION = 1
+#: v2: spec-addressed keys — cells carrying a ``RunSpec`` are keyed by
+#: the SHA-256 of the canonical RunSpec JSON (:func:`spec_key`), and
+#: disk entries store that JSON alongside the result, so cache
+#: identity is auditable from a text artifact instead of a recursive
+#: object walk.
+SCHEMA_VERSION = 2
 
 
 def _canon(obj: Any, out: list[str]) -> None:
@@ -94,6 +103,22 @@ def fingerprint(obj: Any) -> str:
     out: list[str] = []
     _canon(obj, out)
     return hashlib.sha256("\x1f".join(out).encode("utf-8")).hexdigest()
+
+
+def spec_key(spec) -> str:
+    """The content address of one :class:`~repro.platform.spec.RunSpec`.
+
+    SHA-256 over the schema version, the package version and the
+    spec's canonical JSON — the primary cache-key path: any spec field
+    (machine override, tuning override, noise switch, seed, …) is
+    legible in the JSON that produced the digest, so a cache entry's
+    identity can be audited from a text artifact.
+    """
+    from .. import __version__
+
+    payload = (f"schema:{SCHEMA_VERSION}|version:{__version__}|"
+               f"{spec.canonical_json()}")
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def os_signature(os_instance: "OsInstance") -> dict:

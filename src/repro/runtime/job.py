@@ -19,9 +19,8 @@ from typing import Optional
 from ..errors import ConfigurationError
 from ..hardware.machines import Machine
 from ..kernel.base import OsInstance
-from ..kernel.linux import LinuxKernel
 from ..kernel.tuning import LinuxTuning, fugaku_production, ofp_default
-from ..mckernel.lwk import McKernelInstance, boot_mckernel
+from ..platform.compose import compose_os
 
 
 class OsChoice(enum.Enum):
@@ -110,21 +109,14 @@ class BatchSystem:
                 f"job wants {job.n_nodes} nodes, machine has "
                 f"{self.machine.n_nodes}"
             )
-        if job.os_choice is OsChoice.LINUX:
-            tuning = self.linux_tuning
-            if not job.stop_pmu_reads and tuning.stop_pmu_reads:
-                # The user kept TCS PMU collection on for this job.
-                from dataclasses import replace
+        tuning = self.linux_tuning
+        if (job.os_choice is OsChoice.LINUX
+                and not job.stop_pmu_reads and tuning.stop_pmu_reads):
+            # The user kept TCS PMU collection on for this job.
+            from dataclasses import replace
 
-                tuning = replace(tuning, stop_pmu_reads=False,
-                                 name=f"{tuning.name}-pmu-on")
-            os_instance: OsInstance = LinuxKernel(
-                self.machine.node, tuning,
-                interconnect=self.machine.interconnect,
-            )
-        else:
-            os_instance = boot_mckernel(
-                self.machine.node, host_tuning=self.linux_tuning
-            )
+            tuning = replace(tuning, stop_pmu_reads=False,
+                             name=f"{tuning.name}-pmu-on")
+        os_instance = compose_os(self.machine, job.os_choice.value, tuning)
         return ProvisionedJob(job=job, machine=self.machine,
                               os_instance=os_instance)

@@ -27,8 +27,8 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..kernel.linux import LinuxKernel
-from ..noise.catalog import noise_sources_for
 from ..noise.source import NoiseSource, Occurrence
+from ..platform.compose import noise_sources
 from ..sim.engine import Engine
 
 
@@ -123,8 +123,7 @@ def simulate_linux_node_fwq(
         raise ConfigurationError("parameters must be positive")
     n_cores = min(n_cores, len(kernel.app_cpu_ids()))
     n_iterations = max(1, int(duration / quantum))
-    sources = noise_sources_for(kernel,
-                                include_stragglers=include_stragglers)
+    sources = noise_sources(kernel, include_stragglers=include_stragglers)
     engine = Engine()
     lengths = np.zeros((n_cores, n_iterations))
     cores = [SimCore() for _ in range(n_cores)]

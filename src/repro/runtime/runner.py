@@ -37,10 +37,10 @@ from ..kernel.linux import LinuxKernel
 from ..kernel.pagetable import PageKind
 from ..kernel.tuning import LargePagePolicy
 from ..net.collectives import CollectiveModel
-from ..net.fabric import fabric_for
 from ..net.rdma import register_many
-from ..noise.catalog import churn_compaction_source, noise_sources_for
+from ..noise.catalog import churn_compaction_source
 from ..noise.sampler import BarrierDelaySampler
+from ..platform.compose import noise_sources, resolve_fabric
 from ..sim.rng import fnv1a_64
 
 
@@ -121,7 +121,7 @@ class AppRunner:
         self.machine = machine
         self.profile = profile
         self.seed = seed
-        self.fabric = fabric_for(machine.interconnect)
+        self.fabric = resolve_fabric(machine)
 
     # -- component models -------------------------------------------------
 
@@ -173,7 +173,7 @@ class AppRunner:
         self, os_instance: OsInstance, n_nodes: int, n_threads: int,
         rng: np.random.Generator,
     ) -> float:
-        sources = list(noise_sources_for(os_instance))
+        sources = list(noise_sources(os_instance))
         # App-induced THP compaction stalls (the scale-growing half of
         # the LULESH heap effect).
         churn = self.profile.churn_bytes_at(n_nodes, self.machine.name)

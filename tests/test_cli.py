@@ -56,9 +56,13 @@ def test_unknown_experiment_fails():
         main(["experiment", "fig99"])
 
 
-def test_parser_rejects_bad_platform():
-    with pytest.raises(SystemExit):
-        build_parser().parse_args(["compare", "LQCD", "--platform", "mars"])
+def test_compare_rejects_bad_platform():
+    from repro.errors import ConfigurationError
+
+    # --platform is free-form (any registered platform name works), so
+    # rejection happens against the registry, not in argparse.
+    with pytest.raises(ConfigurationError, match="mars"):
+        main(["compare", "LQCD", "--platform", "mars"])
 
 
 def test_parser_requires_command():

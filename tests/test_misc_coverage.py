@@ -75,7 +75,7 @@ def test_quick_compare_rejects_unknown_platform():
 
     with pytest.raises(ConfigurationError):
         quick_compare("LQCD", platform="summit")
-    with pytest.raises(KeyError):
+    with pytest.raises(ConfigurationError, match="NotAnApp"):
         quick_compare("NotAnApp")
 
 

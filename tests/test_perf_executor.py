@@ -11,7 +11,6 @@ import pytest
 from repro.apps import ALL_PROFILES
 from repro.experiments import run_experiment
 from repro.experiments.appfigs import sweep_apps
-from repro.kernel.tuning import ofp_default
 from repro.perf import (
     PerfCounters,
     RunCell,
@@ -45,8 +44,10 @@ def test_compare_parallel_matches_serial(ofp_machine, ofp_linux,
         assert_results_equal(s.mckernel, p.mckernel)
 
 
-def test_sweep_apps_parallel_matches_serial(ofp_machine):
-    kwargs = dict(machine=ofp_machine, tuning=ofp_default(),
+def test_sweep_apps_parallel_matches_serial():
+    from repro.platform import get_platform
+
+    kwargs = dict(platform=get_platform("ofp-default"),
                   apps=["AMG2013", "Milc"], node_counts=[16, 64],
                   n_runs=2, seed=7)
     serial = sweep_apps(jobs=1, **kwargs)

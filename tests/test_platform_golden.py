@@ -1,0 +1,30 @@
+"""Byte-identity of the spec-driven composition path.
+
+The golden files were captured from the pre-refactor code path (direct
+``LinuxKernel(...)`` / ``boot_mckernel(...)`` construction inside each
+experiment).  Routing everything through ``repro.platform.build`` must
+not move a single byte: specs are a description of the same
+composition, not a different one.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import run_experiment
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+CASES = {
+    # Table 2: the countermeasure sweep as derived tuning-override specs.
+    "table2": "table2_fast_seed0.txt",
+    # Fig. 5: an application figure through sweep_platform_apps.
+    "fig5": "fig5_fast_seed0.txt",
+}
+
+
+@pytest.mark.parametrize("eid", sorted(CASES))
+def test_resolver_output_matches_prerefactor_golden(eid):
+    golden = (GOLDEN / CASES[eid]).read_text()
+    result = run_experiment(eid, fast=True, seed=0)
+    assert result.text == golden
