@@ -25,6 +25,7 @@ from __future__ import annotations
 from . import (
     apps,
     experiments,
+    faults,
     hardware,
     kernel,
     mckernel,
@@ -36,10 +37,16 @@ from . import (
     sim,
 )
 from .errors import (
+    CacheCorruptionError,
     CgroupLimitExceeded,
     ConfigurationError,
+    FaultError,
+    IkcTimeoutError,
+    JobRetriesExhausted,
+    NodeFailure,
     OutOfMemoryError,
     PartitionError,
+    ProxyCrashed,
     ReproError,
     ResourceError,
     SimulationError,
@@ -87,6 +94,7 @@ def quick_compare(app: str, platform: str = "fugaku", nodes: int = 1024,
 __all__ = [
     "apps",
     "experiments",
+    "faults",
     "hardware",
     "kernel",
     "mckernel",
@@ -105,5 +113,11 @@ __all__ = [
     "PartitionError",
     "SimulationError",
     "SyscallError",
+    "FaultError",
+    "NodeFailure",
+    "ProxyCrashed",
+    "IkcTimeoutError",
+    "JobRetriesExhausted",
+    "CacheCorruptionError",
     "__version__",
 ]

@@ -10,7 +10,7 @@
     python -m repro run my_platform.json --app LQCD --nodes 2048
     python -m repro compare LQCD --platform fugaku --nodes 2048
     python -m repro fwq --platform fugaku --os mckernel --duration 60
-    python -m repro cache info|clear
+    python -m repro cache info|clear|verify
 
 The CLI is a thin shell over the library; anything it prints can be
 obtained programmatically from :mod:`repro.experiments`,
@@ -170,6 +170,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "clear":
         removed = cache.clear()
         print(f"cleared {removed} cached run(s) from {cache.directory}")
+    elif args.action == "verify":
+        report = cache.verify()
+        print(f"checked {report['checked']} disk entr(ies) in "
+              f"{cache.directory}: {report['ok']} ok, "
+              f"{len(report['quarantined'])} quarantined")
+        for name in report["quarantined"]:
+            print(f"  quarantined: {name}")
+        return 1 if report["quarantined"] else 0
     else:
         info = cache.info()
         for field, value in info.items():
@@ -290,8 +298,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run cache directory (default: "
                             "$REPRO_CACHE_DIR or ~/.cache/repro-runs)")
 
-    p_cache = sub.add_parser("cache", help="inspect or clear the run cache")
-    p_cache.add_argument("action", choices=["info", "clear"])
+    p_cache = sub.add_parser(
+        "cache", help="inspect, clear or verify the run cache")
+    p_cache.add_argument("action", choices=["info", "clear", "verify"])
     p_cache.add_argument("--cache-dir", metavar="DIR",
                          help="run cache directory (default: "
                               "$REPRO_CACHE_DIR or ~/.cache/repro-runs)")

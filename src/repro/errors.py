@@ -49,3 +49,51 @@ class SyscallError(ReproError):
     def __init__(self, errno_name: str, message: str = "") -> None:
         self.errno_name = errno_name
         super().__init__(f"{errno_name}: {message}" if message else errno_name)
+
+
+class FaultError(ReproError):
+    """Base class for injected faults (see :mod:`repro.faults`).
+
+    Raised when a seeded :class:`~repro.faults.FaultInjector` fires a
+    fault that the simulated component turns into a hard failure —
+    never raised unless fault injection is explicitly enabled.
+    """
+
+
+class NodeFailure(FaultError):
+    """A compute node died mid-run (exponential per-node MTBF model).
+
+    Carries ``node`` (the failed node index within the job) and ``at``
+    (the simulation time of the failure) when known.
+    """
+
+    def __init__(self, message: str = "", node: int | None = None,
+                 at: float | None = None) -> None:
+        self.node = node
+        self.at = at
+        super().__init__(message or "node failure")
+
+
+class ProxyCrashed(FaultError):
+    """The Linux-side proxy process of a McKernel job crashed.
+
+    The LWK process loses every delegated-state item the proxy held
+    (fd table, file positions); recovery requires a proxy respawn.
+    """
+
+
+class IkcTimeoutError(FaultError):
+    """An IKC message was dropped and re-delivery attempts timed out."""
+
+
+class JobRetriesExhausted(FaultError):
+    """A batch job failed more times than its retry policy allows."""
+
+
+class CacheCorruptionError(ReproError):
+    """A run-cache disk entry is unreadable or structurally invalid.
+
+    The cache never raises this on the hot path — corrupt entries are
+    quarantined and treated as misses — but :meth:`RunCache.verify`
+    uses it to classify entries in its report.
+    """

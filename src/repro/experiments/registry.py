@@ -13,6 +13,7 @@ from ..errors import ConfigurationError
 from . import (
     eq1,
     exascale,
+    faultsim,
     fig1,
     fig2,
     fig3,
@@ -41,6 +42,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "summary": ("Headline averages", summary.run),
     # Extension (not a paper artefact): the §8 outlook quantified.
     "exascale": ("Projection beyond Fugaku", exascale.run),
+    # Extension: §6 operational failures, injected and survived.
+    "faults": ("Fault sensitivity at scale", faultsim.run),
 }
 
 

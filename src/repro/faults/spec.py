@@ -1,0 +1,188 @@
+"""Declarative fault scenarios: :class:`FaultSpec`.
+
+The paper's production story (§4, §6) is inseparable from failure:
+Fugaku's 158,976 nodes make component failures, OOM kills and stuck
+daemons routine, and §6's lessons-learned attribute McKernel's limited
+production adoption largely to reliability at that scale.  A
+:class:`FaultSpec` names a failure environment as *data* — per-node
+MTBF, cgroup OOM-kill rate, IKC drop probability, proxy-crash and
+daemon-stall rates — plus the tolerance policy that reacts to it
+(bounded retries with exponential backoff, optional periodic
+checkpointing).
+
+Like every other spec in this package family it is frozen, validated
+at construction, and JSON-round-trippable; as an optional field of
+:class:`~repro.platform.spec.PlatformSpec` it is part of the canonical
+JSON (and therefore of the run-cache key) *only when active*, so every
+pre-existing spec, fingerprint and golden output is byte-identical to
+the fault-free world.
+
+Rates are expressed per node-hour so that failure exposure scales with
+job size × walltime, the way real cluster reliability budgets are
+written: a per-node MTBF of 100,000 h gives an aggregate failure rate
+of ``n_nodes / 100000`` per hour, which is negligible on a 16-node
+testbed and dominant on a full pre-exascale machine.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Any, Mapping
+
+from ..errors import ConfigurationError
+
+#: Field name -> (kind, human description) for validation/docs.
+_RATE_FIELDS = (
+    "node_mtbf_hours",
+    "oom_per_node_hour",
+    "proxy_crash_per_node_hour",
+    "daemon_stall_per_node_hour",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One failure environment plus its tolerance policy.
+
+    The default instance (== :meth:`none`) injects nothing: every rate
+    and probability is zero, so all behaviour is byte-identical to a
+    simulator without fault support.
+    """
+
+    # -- fault sources ------------------------------------------------
+    #: Per-node mean time between failures, hours; 0 disables node
+    #: failures.  Aggregate job failure rate is ``n_nodes / mtbf``.
+    node_mtbf_hours: float = 0.0
+    #: Cgroup OOM kills per node-hour (the §4.1.3 memcg limit firing).
+    oom_per_node_hour: float = 0.0
+    #: Proxy-process crashes per node-hour (McKernel jobs only: the
+    #: Linux-side twin dies and takes the delegated state with it).
+    proxy_crash_per_node_hour: float = 0.0
+    #: System-daemon stalls per node-hour (Linux jobs only: McKernel's
+    #: LWK runs no daemons, §2).  Non-fatal; each stall adds
+    #: ``daemon_stall_seconds`` to the job's walltime.
+    daemon_stall_per_node_hour: float = 0.0
+    #: Walltime added per daemon stall, seconds.
+    daemon_stall_seconds: float = 30.0
+    #: Probability an IKC message is dropped in flight (per delivery).
+    ikc_drop_prob: float = 0.0
+    #: Re-delivery wait after a detected IKC drop, seconds.
+    ikc_timeout: float = 5e-5
+    #: Re-delivery attempts before an IKC send times out for good.
+    ikc_max_redeliveries: int = 3
+
+    # -- tolerance policy ---------------------------------------------
+    #: Restart attempts after a fatal fault before a job is FAILED.
+    max_retries: int = 3
+    #: First retry backoff, seconds.
+    backoff_base: float = 30.0
+    #: Multiplier applied per additional retry (exponential backoff).
+    backoff_factor: float = 2.0
+    #: Checkpoint period in payload seconds; 0 disables checkpointing
+    #: (a failed attempt then loses all its progress).
+    checkpoint_interval: float = 0.0
+    #: Walltime cost of writing one checkpoint, seconds.
+    checkpoint_cost: float = 0.0
+    #: Root seed of the fault streams (independent of the run seed so
+    #: A/B comparisons can hold the fault schedule fixed).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigurationError(
+                    f"faults.{name}: expected number, got {value!r}")
+            if value < 0:
+                raise ConfigurationError(
+                    f"faults.{name}: must be >= 0, got {value!r}")
+            object.__setattr__(self, name, float(value))
+        for name in ("daemon_stall_seconds", "backoff_base",
+                     "checkpoint_interval", "checkpoint_cost",
+                     "ikc_timeout"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ConfigurationError(
+                    f"faults.{name}: expected number, got {value!r}")
+            if value < 0:
+                raise ConfigurationError(
+                    f"faults.{name}: must be >= 0, got {value!r}")
+            object.__setattr__(self, name, float(value))
+        if not isinstance(self.ikc_drop_prob, (int, float)) or \
+                isinstance(self.ikc_drop_prob, bool):
+            raise ConfigurationError(
+                f"faults.ikc_drop_prob: expected number, "
+                f"got {self.ikc_drop_prob!r}")
+        if not 0.0 <= self.ikc_drop_prob < 1.0:
+            raise ConfigurationError(
+                f"faults.ikc_drop_prob: must be in [0, 1), "
+                f"got {self.ikc_drop_prob!r}")
+        object.__setattr__(self, "ikc_drop_prob", float(self.ikc_drop_prob))
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"faults.backoff_factor: must be >= 1, "
+                f"got {self.backoff_factor!r}")
+        object.__setattr__(self, "backoff_factor", float(self.backoff_factor))
+        for name in ("max_retries", "ikc_max_redeliveries", "seed"):
+            value = getattr(self, name)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ConfigurationError(
+                    f"faults.{name}: expected int, got {value!r}")
+        if self.max_retries < 0 or self.ikc_max_redeliveries < 0:
+            raise ConfigurationError("faults: retry counts must be >= 0")
+
+    # -- classification ----------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultSpec":
+        """The null scenario: no fault source active (the default)."""
+        return cls()
+
+    @property
+    def active(self) -> bool:
+        """True when at least one fault source can actually fire."""
+        return (
+            self.node_mtbf_hours > 0.0
+            or self.oom_per_node_hour > 0.0
+            or self.proxy_crash_per_node_hour > 0.0
+            or self.daemon_stall_per_node_hour > 0.0
+            or self.ikc_drop_prob > 0.0
+        )
+
+    # -- derivation ----------------------------------------------------
+
+    def with_(self, **overrides: Any) -> "FaultSpec":
+        """A copy with ``overrides`` applied (validated on construction)."""
+        return replace(self, **overrides)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FaultSpec":
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                f"faults: expected a JSON object, "
+                f"got {type(payload).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"faults: unknown field(s) {unknown} "
+                f"(known: {sorted(known)})")
+        return cls(**dict(payload))
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent,
+                          separators=None if indent else (",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSpec":
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ConfigurationError(f"invalid JSON: {exc}") from None
+        return cls.from_dict(payload)

@@ -1,0 +1,95 @@
+"""Tolerance machinery: retry/backoff and checkpoint/restart policies.
+
+These are the knobs the batch layer uses to *react* to injected
+faults, mirroring the canonical fault-tolerant HPC job state machine
+(RUNNING → RUN_ERROR → RESTART with bounded retries) of production
+workflow systems like Balsam.  Both policies are pure arithmetic over
+a :class:`~repro.faults.spec.FaultSpec`, so the scheduler stays the
+single owner of job state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .spec import FaultSpec
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff."""
+
+    max_retries: int = 3
+    backoff_base: float = 30.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.backoff_base < 0:
+            raise ConfigurationError("backoff_base must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+
+    @classmethod
+    def from_spec(cls, spec: FaultSpec) -> "RetryPolicy":
+        return cls(max_retries=spec.max_retries,
+                   backoff_base=spec.backoff_base,
+                   backoff_factor=spec.backoff_factor)
+
+    def exhausted(self, attempts: int) -> bool:
+        """Has ``attempts`` failures used up the retry budget?"""
+        return attempts > self.max_retries
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based):
+        ``base * factor**(attempt-1)``."""
+        if attempt <= 0:
+            raise ConfigurationError("attempt is 1-based")
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """Periodic checkpoint/restart: pay ``cost`` every ``interval``
+    payload seconds, lose only the progress since the last checkpoint
+    on failure.  ``interval == 0`` disables checkpointing entirely
+    (zero overhead, total loss on failure)."""
+
+    interval: float = 0.0
+    cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval < 0 or self.cost < 0:
+            raise ConfigurationError(
+                "checkpoint interval/cost must be >= 0")
+
+    @classmethod
+    def from_spec(cls, spec: FaultSpec) -> "CheckpointPolicy":
+        return cls(interval=spec.checkpoint_interval,
+                   cost=spec.checkpoint_cost)
+
+    @property
+    def enabled(self) -> bool:
+        return self.interval > 0.0
+
+    def overhead(self, payload_seconds: float) -> float:
+        """Total checkpoint-writing walltime added to a run segment of
+        ``payload_seconds`` useful work."""
+        if not self.enabled or payload_seconds <= 0:
+            return 0.0
+        return self.cost * math.floor(payload_seconds / self.interval)
+
+    def restart_point(self, progress: float) -> float:
+        """The payload position a restart resumes from: the last
+        completed checkpoint at or before ``progress`` (0 without
+        checkpointing)."""
+        if not self.enabled or progress <= 0:
+            return 0.0
+        return self.interval * math.floor(progress / self.interval)
+
+    def lost_work(self, progress: float) -> float:
+        """Payload seconds thrown away when failing at ``progress``."""
+        return max(0.0, progress - self.restart_point(progress))

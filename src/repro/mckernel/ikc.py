@@ -6,6 +6,14 @@ notification.  The model exposes both an analytic latency (for the cost
 model) and a functional DES channel (for the delegation examples):
 messages carry a payload, delivery costs ``one_way_latency``, and a full
 ring applies back-pressure.
+
+Fault injection (see :mod:`repro.faults`) adds the unreliable variant:
+a channel given a drop stream loses each in-flight message with
+``drop_prob``; the sender detects the loss after ``redelivery_timeout``
+and re-posts, up to ``max_redeliveries`` times, after which the wait
+event fires with ``None`` and the channel counts a timeout — the
+behaviour a wedged doorbell IRQ shows at scale.  With ``drop_prob`` at
+its default 0 every path is identical to the reliable channel.
 """
 
 from __future__ import annotations
@@ -14,7 +22,9 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from ..errors import ConfigurationError, ResourceError
+import numpy as np
+
+from ..errors import ConfigurationError, IkcTimeoutError, ResourceError
 from ..sim.engine import Engine, Event
 from ..units import us
 
@@ -27,12 +37,26 @@ class IkcSpec:
     one_way_latency: float = us(1.3)
     #: Ring capacity in messages.
     ring_entries: int = 512
+    #: Probability one delivery is dropped in flight (0 = reliable).
+    drop_prob: float = 0.0
+    #: Sender-side wait before re-posting a dropped message, seconds.
+    redelivery_timeout: float = us(50)
+    #: Re-posts before the sender gives up on a message.
+    max_redeliveries: int = 3
 
     def __post_init__(self) -> None:
         if self.one_way_latency < 0:
             raise ConfigurationError("latency must be non-negative")
         if self.ring_entries <= 0:
             raise ConfigurationError("ring_entries must be positive")
+        if not 0.0 <= self.drop_prob < 1.0:
+            raise ConfigurationError(
+                f"drop_prob must be in [0, 1), got {self.drop_prob!r}")
+        if self.redelivery_timeout < 0:
+            raise ConfigurationError(
+                "redelivery_timeout must be non-negative")
+        if self.max_redeliveries < 0:
+            raise ConfigurationError("max_redeliveries must be >= 0")
 
     @property
     def round_trip(self) -> float:
@@ -59,14 +83,25 @@ class IkcChannel:
     latency.
     """
 
-    def __init__(self, spec: IkcSpec, name: str = "ikc") -> None:
+    def __init__(self, spec: IkcSpec, name: str = "ikc",
+                 drop_rng: Optional[np.random.Generator] = None) -> None:
         self.spec = spec
         self.name = name
+        #: Drop-decision stream (e.g. from
+        #: :meth:`repro.faults.FaultInjector.ikc_channel_rng`); None
+        #: keeps the channel reliable regardless of ``spec.drop_prob``.
+        self.drop_rng = drop_rng
         self._ring: deque[IkcMessage] = deque()
         self._seq = 0
         self.posted = 0
         self.delivered = 0
         self.full_events = 0
+        #: Deliveries lost in flight (fault injection).
+        self.dropped = 0
+        #: Successful re-posts after a drop.
+        self.redelivered = 0
+        #: Messages abandoned after ``max_redeliveries`` drops.
+        self.timeouts = 0
 
     def __len__(self) -> int:
         return len(self._ring)
@@ -91,29 +126,70 @@ class IkcChannel:
         self.delivered += 1
         return self._ring.popleft()
 
+    def _delivery_dropped(self) -> bool:
+        """Sample one in-flight loss (False on a reliable channel)."""
+        if self.drop_rng is None or self.spec.drop_prob <= 0.0:
+            return False
+        return bool(self.drop_rng.random() < self.spec.drop_prob)
+
     def post_async(self, engine: Engine, payload: Any) -> Event:
         """Post under a DES engine: the returned event fires with the
-        message after the one-way latency (the receive moment)."""
+        message after the one-way latency (the receive moment).
+
+        On an unreliable channel a delivery may be dropped; the sender
+        waits ``redelivery_timeout`` and re-posts, up to
+        ``max_redeliveries`` times.  When the budget is exhausted the
+        message is consumed off the ring (lost) and the event fires
+        with ``None``; :attr:`timeouts` counts such abandonments and
+        :meth:`timeout_error` builds the matching exception for
+        callers that want to raise.
+        """
         msg = self.post(payload)
         arrived = engine.event(name=f"{self.name}.msg{msg.seq}")
 
-        def delivery() :
-            yield engine.timeout(self.spec.one_way_latency)
-            # The receiver consumes the ring slot at delivery time.
-            got = self.deliver()
-            arrived.succeed(got)
+        def delivery():
+            redeliveries = 0
+            while True:
+                yield engine.timeout(self.spec.one_way_latency)
+                if not self._delivery_dropped():
+                    # The receiver consumes the ring slot at delivery
+                    # time.
+                    got = self.deliver()
+                    arrived.succeed(got)
+                    return
+                self.dropped += 1
+                if redeliveries >= self.spec.max_redeliveries:
+                    self.timeouts += 1
+                    # The lost message still occupied its ring slot;
+                    # discard it so the ring drains.
+                    self.deliver()
+                    arrived.succeed(None)
+                    return
+                redeliveries += 1
+                self.redelivered += 1
+                yield engine.timeout(self.spec.redelivery_timeout)
 
         engine.process(delivery(), name=f"{self.name}-deliver-{msg.seq}")
         return arrived
+
+    def timeout_error(self, msg: IkcMessage | None = None) -> IkcTimeoutError:
+        """The exception an abandoned delivery corresponds to."""
+        detail = f" (msg seq {msg.seq})" if msg is not None else ""
+        return IkcTimeoutError(
+            f"IKC {self.name!r}: message lost after "
+            f"{self.spec.max_redeliveries} redeliveries{detail}")
 
 
 class IkcPair:
     """Request/response channel pair for one McKernel instance."""
 
-    def __init__(self, spec: IkcSpec | None = None) -> None:
+    def __init__(self, spec: IkcSpec | None = None,
+                 drop_rng: Optional[np.random.Generator] = None) -> None:
         self.spec = spec or IkcSpec()
-        self.to_linux = IkcChannel(self.spec, name="lwk->linux")
-        self.to_lwk = IkcChannel(self.spec, name="linux->lwk")
+        self.to_linux = IkcChannel(self.spec, name="lwk->linux",
+                                   drop_rng=drop_rng)
+        self.to_lwk = IkcChannel(self.spec, name="linux->lwk",
+                                 drop_rng=drop_rng)
 
     @property
     def round_trip(self) -> float:

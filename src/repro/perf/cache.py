@@ -18,17 +18,29 @@ Disk entries written from spec-driven sweeps embed the canonical
 :class:`~repro.platform.spec.RunSpec` JSON whose SHA-256 is the file
 name, so every entry is self-describing: ``{"spec": {...}, "result":
 {...}}`` — cache identity is auditable with a text editor.
+
+Corruption containment: a disk entry that fails to parse or decode
+(truncated write, bit rot, hand edit) is **quarantined** — moved to a
+``quarantine/`` subdirectory for post-mortem — and reported as a miss,
+so one bad file can never kill a sweep.  ``repro cache verify`` walks
+the whole disk tier applying the same check.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import pathlib
 import tempfile
 from typing import TYPE_CHECKING, Optional
 
-from ..errors import ConfigurationError
+from ..errors import CacheCorruptionError, ConfigurationError
+
+logger = logging.getLogger(__name__)
+
+#: Subdirectory (inside the cache dir) where corrupt entries land.
+QUARANTINE_DIR = "quarantine"
 
 if TYPE_CHECKING:
     from ..runtime.runner import RunResult
@@ -89,6 +101,8 @@ class RunCache:
 
     def __init__(self, directory: str | os.PathLike | None = None) -> None:
         self._memory: dict[str, "RunResult"] = {}
+        #: Corrupt disk entries moved aside by this instance.
+        self.quarantined = 0
         self.directory: Optional[pathlib.Path] = (
             pathlib.Path(directory) if directory is not None else None
         )
@@ -108,8 +122,47 @@ class RunCache:
             raise ConfigurationError(f"malformed cache key {key!r}")
         return self.directory / f"{key}.json"
 
+    def _quarantine(self, path: pathlib.Path, reason: str) -> None:
+        """Move a corrupt entry aside (never delete: post-mortems need
+        the bytes) and log a warning.  Best-effort: a failed move must
+        not turn a cache miss into a sweep failure."""
+        assert self.directory is not None
+        qdir = self.directory / QUARANTINE_DIR
+        target = qdir / path.name
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            n = 0
+            while target.exists():
+                n += 1
+                target = qdir / f"{path.stem}.{n}{path.suffix}"
+            os.replace(path, target)
+        except OSError:
+            logger.warning("run cache: could not quarantine corrupt "
+                           "entry %s (%s)", path.name, reason)
+            return
+        self.quarantined += 1
+        logger.warning("run cache: quarantined corrupt entry %s -> %s "
+                       "(%s)", path.name, target, reason)
+
+    @staticmethod
+    def _decode_entry(payload) -> "RunResult":
+        """Entry JSON -> RunResult; :class:`CacheCorruptionError` on any
+        structural problem (shared by :meth:`get` and :meth:`verify`)."""
+        if not isinstance(payload, dict):
+            raise CacheCorruptionError(
+                f"entry is {type(payload).__name__}, expected object")
+        try:
+            return result_from_dict(payload.get("result", payload))
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise CacheCorruptionError(
+                f"undecodable result payload: {exc}") from exc
+
     def get(self, key: str) -> Optional["RunResult"]:
-        """The cached result for ``key``, or None on a miss."""
+        """The cached result for ``key``, or None on a miss.
+
+        A present-but-corrupt disk entry (``json.JSONDecodeError``,
+        missing/ill-typed fields, truncated file) is quarantined and
+        reported as a miss — the sweep recomputes and overwrites."""
         result = self._memory.get(key)
         if result is not None:
             return result
@@ -117,14 +170,18 @@ class RunCache:
             return None
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
-            # Missing, unreadable or corrupt entry: treat as a miss (a
-            # corrupt file is overwritten by the next put).
+            text = path.read_text()
+        except OSError:
+            # Missing or unreadable: a plain miss.
             return None
         try:
-            result = result_from_dict(payload.get("result", payload))
-        except (KeyError, TypeError, ValueError):
+            payload = json.loads(text)
+            result = self._decode_entry(payload)
+        except ValueError as exc:  # JSONDecodeError is a ValueError
+            self._quarantine(path, f"invalid JSON: {exc}")
+            return None
+        except CacheCorruptionError as exc:
+            self._quarantine(path, str(exc))
             return None
         self._memory[key] = result
         return result
@@ -178,14 +235,42 @@ class RunCache:
                     pass
         return removed
 
+    def verify(self) -> dict:
+        """Walk the disk tier, quarantine every corrupt entry, and
+        report: ``{"checked", "ok", "quarantined": [filenames]}``.
+
+        Safe to run concurrently with sweeps — entries are only ever
+        moved into ``quarantine/``, never deleted or rewritten.
+        """
+        report: dict = {"checked": 0, "ok": 0, "quarantined": []}
+        if self.directory is None:
+            return report
+        for path in sorted(self.directory.glob("*.json")):
+            report["checked"] += 1
+            try:
+                payload = json.loads(path.read_text())
+                self._decode_entry(payload)
+            except (OSError, ValueError, CacheCorruptionError) as exc:
+                self._quarantine(path, str(exc))
+                report["quarantined"].append(path.name)
+            else:
+                report["ok"] += 1
+        return report
+
     def info(self) -> dict:
         """Cache location and population summary."""
         on_disk = (
             sorted(p.stem for p in self.directory.glob("*.json"))
             if self.directory is not None else []
         )
+        in_quarantine = (
+            len(list((self.directory / QUARANTINE_DIR).glob("*.json*")))
+            if self.directory is not None
+            and (self.directory / QUARANTINE_DIR).is_dir() else 0
+        )
         return {
             "directory": str(self.directory) if self.directory else None,
             "memory_entries": len(self._memory),
             "disk_entries": len(on_disk),
+            "quarantined_entries": in_quarantine,
         }

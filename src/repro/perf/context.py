@@ -38,6 +38,12 @@ class PerfContext:
     cache: Optional["RunCache"] = None
     #: Instrumentation sink; None falls back to the global counters.
     counters: Optional["PerfCounters"] = None
+    #: Wall-clock budget per cell in the parallel path, seconds; None
+    #: waits forever.  A timed-out cell counts as a pool failure and is
+    #: retried like one.
+    cell_timeout: Optional[float] = None
+    #: Pool dispatch attempts before the executor degrades to serial.
+    max_retries: int = 2
     _pool: Optional["ProcessPoolExecutor"] = field(
         default=None, repr=False, compare=False)
     _pool_broken: bool = field(default=False, repr=False, compare=False)
@@ -83,9 +89,13 @@ def perf_context(
     jobs: int = 1,
     cache: Optional["RunCache"] = None,
     counters: Optional["PerfCounters"] = None,
+    cell_timeout: Optional[float] = None,
+    max_retries: int = 2,
 ) -> Iterator[PerfContext]:
     """Install a :class:`PerfContext` for the duration of the block."""
-    ctx = PerfContext(jobs=max(1, int(jobs)), cache=cache, counters=counters)
+    ctx = PerfContext(jobs=max(1, int(jobs)), cache=cache, counters=counters,
+                      cell_timeout=cell_timeout,
+                      max_retries=max(0, int(max_retries)))
     _STACK.append(ctx)
     try:
         yield ctx

@@ -9,18 +9,23 @@ exploits that by fanning cells out over a
 :class:`concurrent.futures.ProcessPoolExecutor` and reassembling
 results in submission order.
 
-Failure containment: pool infrastructure errors (a worker killed, an
-unpicklable payload, fork failure) degrade transparently to the serial
-path — the sweep still completes, just slower.  Model errors raised by
+Failure containment is *cell-granular*: pool infrastructure errors (a
+worker killed, an unpicklable payload, fork failure, a cell exceeding
+its timeout) cost only the unfinished cells — completed results are
+harvested, a warning names the failing cell's cache key, and only the
+remainder is retried (bounded attempts over a fresh pool, then the
+serial path).  The sweep always completes, and model errors raised by
 a cell propagate unchanged in both modes.
 """
 
 from __future__ import annotations
 
+import logging
 import pickle
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from .context import get_context
@@ -34,6 +39,11 @@ if TYPE_CHECKING:
     from ..platform.spec import RunSpec
     from ..runtime.runner import RunResult
     from .cache import RunCache
+
+logger = logging.getLogger(__name__)
+
+#: Exceptions that mean "the pool broke", never "the model is wrong".
+_POOL_ERRORS = (BrokenProcessPool, OSError, pickle.PicklingError)
 
 
 @dataclass(frozen=True)
@@ -75,32 +85,87 @@ def _run_serial(cells: Sequence[RunCell]) -> list["RunResult"]:
     return [_execute_cell(cell) for cell in cells]
 
 
+@dataclass
+class _PartialPoolFailure(Exception):
+    """A pool dispatch died part-way: carries what *did* finish.
+
+    ``done`` maps positions (within the dispatched batch) to harvested
+    results, ``failed_index`` names the cell whose future raised, and
+    ``cause`` explains why.  Internal to this module — callers of
+    :func:`execute_cells` never see it.
+    """
+
+    done: dict[int, "RunResult"] = field(default_factory=dict)
+    failed_index: int = 0
+    cause: str = ""
+
+    def __post_init__(self) -> None:
+        super().__init__(self.cause)
+
+
 def _run_pool(pool: ProcessPoolExecutor, cells: Sequence[RunCell],
-              jobs: int) -> list["RunResult"]:
-    # map() preserves submission order, which is all the determinism
-    # the reassembly step needs.  Chunking bounds the per-task IPC and
-    # lets pickle share the machine/profile/OS objects within a chunk;
-    # two chunks per worker keeps some slack for load imbalance.
-    chunksize = max(1, -(-len(cells) // (jobs * 2)))
-    return list(pool.map(_execute_cell, cells, chunksize=chunksize))
+              jobs: int, timeout: Optional[float] = None
+              ) -> list["RunResult"]:
+    """Fan ``cells`` out over ``pool``; results in submission order.
+
+    One future per cell so a pool failure is attributable: when a
+    future raises an infrastructure error (or exceeds ``timeout``
+    seconds), every already-finished result is harvested and shipped
+    back inside :class:`_PartialPoolFailure` so the caller retries only
+    the remainder.
+    """
+    futures = [pool.submit(_execute_cell, cell) for cell in cells]
+    out: list["RunResult"] = []
+    for i, future in enumerate(futures):
+        try:
+            out.append(future.result(timeout=timeout))
+        except (*_POOL_ERRORS, FuturesTimeoutError) as exc:
+            done = dict(enumerate(out))
+            # Harvest everything that finished behind the failure
+            # before cancelling the rest.
+            for j in range(i + 1, len(futures)):
+                f = futures[j]
+                if f.done() and not f.cancelled():
+                    try:
+                        done[j] = f.result(timeout=0)
+                    except Exception:
+                        pass
+                else:
+                    f.cancel()
+            kind = ("timeout" if isinstance(exc, FuturesTimeoutError)
+                    else type(exc).__name__)
+            raise _PartialPoolFailure(
+                done=done, failed_index=i,
+                cause=f"{kind}: {exc}") from exc
+    return out
 
 
 def execute_cells(
     cells: Sequence[RunCell],
     jobs: Optional[int] = None,
     cache: Optional["RunCache"] = None,
+    cell_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> list["RunResult"]:
     """Execute ``cells``, returning results in cell order.
 
-    ``jobs``/``cache`` default to the ambient :class:`PerfContext`.
-    Cache lookups and stores happen in the parent process only, so
-    workers stay pure compute and the disk tier sees no write races.
+    ``jobs``/``cache``/``cell_timeout``/``max_retries`` default to the
+    ambient :class:`PerfContext`.  Cache lookups and stores happen in
+    the parent process only, so workers stay pure compute and the disk
+    tier sees no write races.  ``cell_timeout`` bounds each cell's
+    parallel execution (seconds); a timed-out or pool-killed dispatch
+    retries only its unfinished cells, ``max_retries`` times, before
+    degrading to the serial path.
     """
     ctx = get_context()
     if jobs is None:
         jobs = ctx.jobs
     if cache is None:
         cache = ctx.cache
+    if cell_timeout is None:
+        cell_timeout = ctx.cell_timeout
+    if max_retries is None:
+        max_retries = ctx.max_retries
     counters = get_counters()
     counters.add("executor.cells", len(cells))
 
@@ -124,7 +189,9 @@ def execute_cells(
 
     todo = [cells[i] for i in pending]
     with counters.timer("executor.compute"):
-        computed = _dispatch(todo, jobs, ctx, counters)
+        computed = _dispatch(todo, jobs, ctx, counters,
+                             timeout=cell_timeout,
+                             max_retries=max_retries)
     for i, result in zip(pending, computed):
         results[i] = result
         if cache is not None:
@@ -132,26 +199,78 @@ def execute_cells(
     return results  # type: ignore[return-value]
 
 
-def _dispatch(cells: Sequence[RunCell], jobs: int, ctx,
-              counters) -> list["RunResult"]:
+def _dispatch(cells: Sequence[RunCell], jobs: int, ctx, counters,
+              timeout: Optional[float] = None,
+              max_retries: int = 2) -> list["RunResult"]:
     if jobs <= 1 or len(cells) <= 1:
         counters.add("executor.serial_cells", len(cells))
         return _run_serial(cells)
-    shared = ctx.pool() if jobs == ctx.jobs else None
-    try:
-        if shared is not None:
-            out = _run_pool(shared, cells, jobs)
-        else:
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(cells))
-            ) as pool:
-                out = _run_pool(pool, cells, jobs)
-    except (BrokenProcessPool, OSError, pickle.PicklingError):
-        # Infrastructure failure, not a model error: degrade to serial.
-        if shared is not None:
-            ctx.mark_pool_broken()
-        counters.add("executor.pool_failures")
-        counters.add("executor.serial_cells", len(cells))
-        return _run_serial(cells)
-    counters.add("executor.parallel_cells", len(cells))
-    return out
+
+    results: dict[int, "RunResult"] = {}
+    pending = list(range(len(cells)))
+    failures = 0
+    while pending and failures <= max_retries:
+        batch = [cells[i] for i in pending]
+        shared = (ctx.pool()
+                  if jobs == ctx.jobs and failures == 0 else None)
+        # Tests monkeypatch _run_pool with the historical 3-arg
+        # signature, so the timeout travels only when it is set.
+        extra = () if timeout is None else (timeout,)
+        try:
+            if shared is not None:
+                out = _run_pool(shared, batch, jobs, *extra)
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(batch))
+                ) as pool:
+                    out = _run_pool(pool, batch, jobs, *extra)
+        except _PartialPoolFailure as failure:
+            if shared is not None:
+                ctx.mark_pool_broken()
+            failures += 1
+            if failures == 1:
+                counters.add("executor.pool_failures")
+            counters.add("executor.cell_retries")
+            failed_cell = batch[failure.failed_index]
+            logger.warning(
+                "sweep cell %s failed in the worker pool (%s); "
+                "%d/%d cells of this batch finished, retrying the rest "
+                "(attempt %d/%d)",
+                failed_cell.key(), failure.cause, len(failure.done),
+                len(batch), failures, max_retries)
+            for pos, result in failure.done.items():
+                results[pending[pos]] = result
+            pending = [i for i in pending if i not in results]
+            continue
+        except _POOL_ERRORS as exc:
+            # The pool died without per-cell attribution (fork failed,
+            # batch-level pickling error): every pending cell remains.
+            if shared is not None:
+                ctx.mark_pool_broken()
+            failures += 1
+            if failures == 1:
+                counters.add("executor.pool_failures")
+            logger.warning(
+                "worker pool failed before any cell could be "
+                "attributed (%s: %s); retrying %d cells "
+                "(attempt %d/%d)", type(exc).__name__, exc,
+                len(pending), failures, max_retries)
+            continue
+        for pos, result in zip(pending, out):
+            results[pos] = result
+        pending = []
+
+    if pending:
+        # Retry budget exhausted: infrastructure is unusable, degrade
+        # to serial — the sweep still completes, just slower.
+        logger.warning(
+            "worker pool unusable after %d attempts; running %d "
+            "remaining cells serially", failures, len(pending))
+        counters.add("executor.serial_cells", len(pending))
+        serial = _run_serial([cells[i] for i in pending])
+        for pos, result in zip(pending, serial):
+            results[pos] = result
+    else:
+        counters.add("executor.parallel_cells", len(cells))
+
+    return [results[i] for i in range(len(cells))]

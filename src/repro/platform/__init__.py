@@ -31,6 +31,7 @@ or purely from JSON::
 
 from __future__ import annotations
 
+from ..faults.spec import FaultSpec
 from .compose import compose_os, noise_sources, resolve_fabric
 from .registry import (
     get_platform,
@@ -57,6 +58,7 @@ from .spec import (
 )
 
 __all__ = [
+    "FaultSpec",
     "MACHINES",
     "McKernelSwitches",
     "NoiseSwitches",

@@ -15,6 +15,18 @@ cost (and queueing in general) can be studied:
 * later jobs may backfill into idle nodes if they cannot delay the
   reservation;
 * McKernel jobs add prologue/epilogue time around their payload.
+
+With a :class:`~repro.faults.FaultSpec` attached the scheduler also
+models the unhappy path — the canonical fault-tolerant HPC job state
+machine (RUNNING → failure → RESTARTING with bounded retries, the
+Balsam RUN_ERROR/RESTART_READY cycle): node failures and OOM kills
+abort the attempt, the job backs off exponentially and re-enters the
+queue, optionally resuming from its last periodic checkpoint, and
+after ``max_retries`` failed attempts it lands in the terminal FAILED
+state.  Fault draws are seeded per (job, attempt), so a given
+``(FaultSpec, submission sequence)`` replays identically.  Without a
+fault spec every code path is byte-identical to the happy-path-only
+scheduler.
 """
 
 from __future__ import annotations
@@ -23,7 +35,15 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..errors import ConfigurationError
+from ..errors import (
+    CgroupLimitExceeded,
+    ConfigurationError,
+    NodeFailure,
+    ProxyCrashed,
+)
+from ..faults.injector import FaultEvent, FaultInjector
+from ..faults.spec import FaultSpec
+from ..faults.tolerance import CheckpointPolicy, RetryPolicy
 from ..sim.engine import Engine, Event
 from .job import OsChoice
 
@@ -35,7 +55,11 @@ MCKERNEL_EPILOGUE = 15.0
 class JobState(enum.Enum):
     QUEUED = "queued"
     RUNNING = "running"
+    #: Attempt aborted by a fault; backing off before re-queueing.
+    RESTARTING = "restarting"
     DONE = "done"
+    #: Terminal: retry budget exhausted.
+    FAILED = "failed"
 
 
 @dataclass
@@ -51,6 +75,19 @@ class BatchJob:
     start_time: Optional[float] = None
     end_time: Optional[float] = None
     state: JobState = JobState.QUEUED
+    # -- fault-tolerance bookkeeping (all zero without injection) ------
+    #: Failed attempts so far.
+    attempts: int = 0
+    #: Payload seconds preserved by checkpointing across restarts.
+    progress_done: float = 0.0
+    #: Payload seconds computed but thrown away by failures.
+    lost_time: float = 0.0
+    #: Walltime added by daemon stalls (Linux jobs).
+    stall_time: float = 0.0
+    #: Walltime spent writing checkpoints.
+    checkpoint_time: float = 0.0
+    #: (sim time, fault kind value) per aborted attempt.
+    fault_log: list = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.n_nodes <= 0:
@@ -63,6 +100,12 @@ class BatchJob:
         """Prologue + epilogue around the payload."""
         if self.os_choice is OsChoice.MCKERNEL:
             return MCKERNEL_PROLOGUE + MCKERNEL_EPILOGUE
+        return 0.0
+
+    @property
+    def prologue(self) -> float:
+        if self.os_choice is OsChoice.MCKERNEL:
+            return MCKERNEL_PROLOGUE
         return 0.0
 
     @property
@@ -80,10 +123,26 @@ class BatchJob:
         return self.start_time - self.submit_time
 
 
-class BatchScheduler:
-    """FIFO + EASY backfill over one machine's node pool."""
+@dataclass(frozen=True)
+class _AttemptPlan:
+    """Everything sampled up-front for one execution attempt."""
 
-    def __init__(self, engine: Engine, total_nodes: int) -> None:
+    occupancy: float                 # walltime if the attempt survives
+    checkpoint_overhead: float
+    stall_time: float
+    fatal: Optional[FaultEvent]      # earliest job-killing event, if any
+
+
+class BatchScheduler:
+    """FIFO + EASY backfill over one machine's node pool.
+
+    ``faults`` (a :class:`~repro.faults.FaultSpec`) enables
+    injection + tolerance; ``None`` or an inactive spec keeps the
+    scheduler on the exact happy-path-only code path.
+    """
+
+    def __init__(self, engine: Engine, total_nodes: int,
+                 faults: Optional[FaultSpec] = None) -> None:
         if total_nodes <= 0:
             raise ConfigurationError("total_nodes must be positive")
         self.engine = engine
@@ -92,6 +151,16 @@ class BatchScheduler:
         self.queue: list[BatchJob] = []
         self.running: list[BatchJob] = []
         self.finished: list[BatchJob] = []
+        #: Terminal failures (retry budget exhausted).
+        self.failed: list[BatchJob] = []
+        self.faults = faults
+        self.injector: Optional[FaultInjector] = None
+        self.retry = RetryPolicy()
+        self.checkpoint = CheckpointPolicy()
+        if faults is not None and faults.active:
+            self.injector = FaultInjector(faults)
+            self.retry = RetryPolicy.from_spec(faults)
+            self.checkpoint = CheckpointPolicy.from_spec(faults)
 
     # -- submission --------------------------------------------------------
 
@@ -111,20 +180,108 @@ class BatchScheduler:
     def _start(self, job: BatchJob) -> None:
         self.queue.remove(job)
         self.free_nodes -= job.n_nodes
-        job.state = JobState.RUNNING
-        job.start_time = self.engine.now
         self.running.append(job)
+        job.state = JobState.RUNNING
+        if job.start_time is None:
+            job.start_time = self.engine.now
+        plan = self._plan_attempt(job)
 
         def run():
-            yield self.engine.timeout(job.wall_occupancy)
-            job.state = JobState.DONE
+            if plan is None:
+                # Fault-free path: identical to the happy-path scheduler.
+                yield self.engine.timeout(job.wall_occupancy)
+                self._complete(job)
+                return
+            if plan.fatal is None:
+                yield self.engine.timeout(plan.occupancy)
+                job.checkpoint_time += plan.checkpoint_overhead
+                job.stall_time += plan.stall_time
+                self._complete(job)
+                return
+            yield self.engine.timeout(plan.fatal.time)
+            # The fault manifests as the same exception the live
+            # component would raise (an injected OOM *is* the memcg
+            # limit firing) and the scheduler's tolerance machinery is
+            # the handler.
+            try:
+                raise plan.fatal.exception()
+            except (NodeFailure, CgroupLimitExceeded, ProxyCrashed):
+                self._abort_attempt(job, plan)
+
+        self.engine.process(run(), name=f"job/{job.name}/a{job.attempts}")
+
+    def _plan_attempt(self, job: BatchJob) -> Optional[_AttemptPlan]:
+        """Sample this attempt's fault schedule; None = no injection."""
+        if self.injector is None:
+            return None
+        remaining = max(0.0, job.runtime - job.progress_done)
+        ckpt = self.checkpoint.overhead(remaining)
+        base_window = job.overhead + remaining + ckpt
+        schedule = self.injector.schedule(
+            job.n_nodes, base_window,
+            stream=f"job/{job.name}/attempt{job.attempts}")
+        os_kind = job.os_choice.value
+        fatal = schedule.first_fatal(os_kind)
+        stall = schedule.stall_time(
+            self.faults, os_kind,
+            before=fatal.time if fatal is not None else None)
+        return _AttemptPlan(
+            occupancy=base_window + stall,
+            checkpoint_overhead=ckpt,
+            stall_time=stall,
+            fatal=fatal,
+        )
+
+    def _complete(self, job: BatchJob) -> None:
+        job.state = JobState.DONE
+        job.end_time = self.engine.now
+        self.running.remove(job)
+        self.finished.append(job)
+        self.free_nodes += job.n_nodes
+        self._schedule()
+
+    def _abort_attempt(self, job: BatchJob, plan: _AttemptPlan) -> None:
+        """RUNNING → RESTARTING (or FAILED): free nodes, account lost
+        work, back off, re-queue — the bounded-retry state machine."""
+        assert plan.fatal is not None
+        job.fault_log.append((self.engine.now, plan.fatal.kind.value))
+        self.running.remove(job)
+        self.free_nodes += job.n_nodes
+        # Payload progress at the failure point: strip the prologue,
+        # then scale by the payload share of the productive window
+        # (payload + checkpoint writes interleave uniformly).
+        remaining = max(0.0, job.runtime - job.progress_done)
+        productive = remaining + plan.checkpoint_overhead
+        elapsed_productive = max(0.0, plan.fatal.time - job.prologue)
+        if productive > 0:
+            progress = min(remaining,
+                           elapsed_productive * remaining / productive)
+        else:
+            progress = 0.0
+        total = job.progress_done + progress
+        resume_from = self.checkpoint.restart_point(total)
+        job.lost_time += total - resume_from
+        job.progress_done = resume_from
+        job.attempts += 1
+        if self.retry.exhausted(job.attempts):
+            job.state = JobState.FAILED
             job.end_time = self.engine.now
-            self.running.remove(job)
-            self.finished.append(job)
-            self.free_nodes += job.n_nodes
+            self.failed.append(job)
+            self._schedule()
+            return
+        job.state = JobState.RESTARTING
+        delay = self.retry.delay(job.attempts)
+
+        def requeue():
+            yield self.engine.timeout(delay)
+            job.state = JobState.QUEUED
+            self.queue.append(job)
             self._schedule()
 
-        self.engine.process(run(), name=f"job/{job.name}")
+        self.engine.process(requeue(),
+                            name=f"job/{job.name}/backoff{job.attempts}")
+        # The freed nodes may unblock other queued work immediately.
+        self._schedule()
 
     def _head_reservation(self) -> tuple[float, int]:
         """(shadow_time, spare_nodes) for the EASY reservation of the
@@ -184,3 +341,41 @@ class BatchScheduler:
         if not done:
             return 0.0
         return sum(j.wait_time for j in done) / len(done)
+
+    # -- fault metrics -----------------------------------------------------
+
+    def success_rate(self) -> float:
+        """Completed / terminal jobs (1.0 while nothing has failed)."""
+        terminal = len(self.finished) + len(self.failed)
+        if terminal == 0:
+            return 1.0
+        return len(self.finished) / terminal
+
+    def effective_utilization(self, horizon: float) -> float:
+        """Goodput: *useful* payload node-seconds of completed jobs
+        over the machine's offered capacity.  Prologues, checkpoint
+        writes, daemon stalls and every aborted attempt count as zero
+        — the metric the checkpoint-cost/lost-work tradeoff moves."""
+        if horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+        useful = sum(j.runtime * j.n_nodes for j in self.finished)
+        return useful / (self.total_nodes * horizon)
+
+    def fault_report(self) -> dict:
+        """Per-run tolerance accounting (the checkpoint-vs-lost-work
+        tradeoff, reported per scheduler run)."""
+        jobs = self.finished + self.failed + self.running + self.queue
+        by_kind: dict[str, int] = {}
+        for job in jobs:
+            for _, kind in job.fault_log:
+                by_kind[kind] = by_kind.get(kind, 0) + 1
+        return {
+            "jobs_done": len(self.finished),
+            "jobs_failed": len(self.failed),
+            "success_rate": self.success_rate(),
+            "faults_by_kind": dict(sorted(by_kind.items())),
+            "retries": sum(j.attempts for j in jobs),
+            "lost_payload_seconds": sum(j.lost_time for j in jobs),
+            "checkpoint_seconds": sum(j.checkpoint_time for j in jobs),
+            "stall_seconds": sum(j.stall_time for j in jobs),
+        }

@@ -1,0 +1,111 @@
+"""FaultSpec: validation, null scenario, JSON round trip, and the
+byte-stability contract with PlatformSpec."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultSpec
+from repro.platform import PlatformSpec, get_platform
+
+
+def test_default_is_none_and_inactive():
+    assert FaultSpec() == FaultSpec.none()
+    assert not FaultSpec.none().active
+
+
+def test_any_fault_source_activates():
+    assert FaultSpec(node_mtbf_hours=1000.0).active
+    assert FaultSpec(oom_per_node_hour=1e-4).active
+    assert FaultSpec(proxy_crash_per_node_hour=1e-4).active
+    assert FaultSpec(daemon_stall_per_node_hour=1e-3).active
+    assert FaultSpec(ikc_drop_prob=0.01).active
+    # Tolerance knobs alone do not activate injection.
+    assert not FaultSpec(max_retries=10, checkpoint_interval=600.0).active
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        FaultSpec(node_mtbf_hours=-1.0)
+    with pytest.raises(ConfigurationError):
+        FaultSpec(ikc_drop_prob=1.0)  # half-open interval
+    with pytest.raises(ConfigurationError):
+        FaultSpec(ikc_drop_prob=-0.1)
+    with pytest.raises(ConfigurationError):
+        FaultSpec(backoff_factor=0.5)
+    with pytest.raises(ConfigurationError):
+        FaultSpec(max_retries=-1)
+    with pytest.raises(ConfigurationError):
+        FaultSpec(max_retries=2.5)
+    with pytest.raises(ConfigurationError):
+        FaultSpec(node_mtbf_hours=True)  # bools are not rates
+    with pytest.raises(ConfigurationError):
+        FaultSpec(checkpoint_cost=-5.0)
+
+
+def test_rates_coerced_to_float():
+    spec = FaultSpec(node_mtbf_hours=1000, daemon_stall_seconds=10)
+    assert isinstance(spec.node_mtbf_hours, float)
+    assert isinstance(spec.daemon_stall_seconds, float)
+
+
+def test_with_overrides():
+    base = FaultSpec(node_mtbf_hours=500.0)
+    derived = base.with_(seed=7, max_retries=1)
+    assert derived.node_mtbf_hours == 500.0
+    assert derived.seed == 7 and derived.max_retries == 1
+    assert base.seed == 0  # original untouched
+    with pytest.raises(ConfigurationError):
+        base.with_(ikc_drop_prob=2.0)
+
+
+def test_json_round_trip():
+    spec = FaultSpec(node_mtbf_hours=8000.0, ikc_drop_prob=0.05,
+                     checkpoint_interval=600.0, checkpoint_cost=30.0,
+                     seed=42)
+    assert FaultSpec.from_json(spec.to_json()) == spec
+    assert FaultSpec.from_dict(json.loads(spec.to_json())) == spec
+    # Pretty-printed form round-trips too.
+    assert FaultSpec.from_json(spec.to_json(indent=2)) == spec
+
+
+def test_from_dict_rejects_unknowns():
+    with pytest.raises(ConfigurationError):
+        FaultSpec.from_dict({"node_mtbf_months": 1.0})
+    with pytest.raises(ConfigurationError):
+        FaultSpec.from_dict(["not", "a", "mapping"])
+    with pytest.raises(ConfigurationError):
+        FaultSpec.from_json("{truncated")
+
+
+def test_platform_spec_omits_null_faults():
+    """The byte-stability contract: a fault-free platform serializes
+    exactly as it did before faults existed, so every pre-existing
+    fingerprint, cache key and golden output is unchanged."""
+    plat = get_platform("fugaku-production")
+    assert plat.faults == FaultSpec.none()
+    assert "faults" not in plat.to_dict()
+
+    faulty = plat.with_faults(node_mtbf_hours=8000.0)
+    payload = faulty.to_dict()
+    assert payload["faults"]["node_mtbf_hours"] == 8000.0
+    assert faulty.canonical_json() != plat.canonical_json()
+
+
+def test_platform_spec_faults_round_trip():
+    plat = get_platform("ofp-default").with_faults(
+        node_mtbf_hours=4000.0, seed=3)
+    back = PlatformSpec.from_json(plat.to_json())
+    assert back == plat
+    assert back.faults.node_mtbf_hours == 4000.0
+    # And the fault-free spec round-trips to a null FaultSpec.
+    clean = PlatformSpec.from_json(get_platform("ofp-default").to_json())
+    assert clean.faults == FaultSpec.none()
+
+
+def test_with_faults_rejects_spec_plus_overrides():
+    plat = get_platform("fugaku-production")
+    with pytest.raises(ConfigurationError):
+        plat.with_faults(FaultSpec(node_mtbf_hours=1.0),
+                         node_mtbf_hours=2.0)

@@ -143,3 +143,93 @@ def test_hit_rate_counter(tmp_path, cell):
     assert counters.counts["cache.misses"] == 1
     assert counters.counts["cache.hits"] == 1
     assert counters.hit_rate() == pytest.approx(0.5)
+
+
+# -- corruption containment -------------------------------------------
+
+
+def test_corrupt_entry_is_quarantined_not_deleted(tmp_path, cell):
+    cache = RunCache(tmp_path)
+    execute_cells([cell], jobs=1, cache=cache)
+    path = tmp_path / f"{cell.key()}.json"
+    path.write_text("{truncated")
+    fresh = RunCache(tmp_path)
+    assert fresh.get(cell.key()) is None
+    assert fresh.quarantined == 1
+    moved = tmp_path / "quarantine" / path.name
+    assert moved.read_text() == "{truncated"  # bytes kept for post-mortem
+    assert not path.exists()
+
+
+def test_structurally_invalid_entry_is_quarantined(tmp_path, cell):
+    cache = RunCache(tmp_path)
+    execute_cells([cell], jobs=1, cache=cache)
+    path = tmp_path / f"{cell.key()}.json"
+    # Valid JSON, wrong shape: times/breakdown missing.
+    path.write_text(json.dumps({"result": {"app": "LQCD"}}))
+    fresh = RunCache(tmp_path)
+    assert fresh.get(cell.key()) is None
+    assert fresh.quarantined == 1
+
+
+def test_quarantine_name_collisions_keep_both(tmp_path, cell):
+    cache = RunCache(tmp_path)
+    execute_cells([cell], jobs=1, cache=cache)
+    path = tmp_path / f"{cell.key()}.json"
+    for i in range(2):
+        path.write_text(f"corrupt #{i}")
+        assert RunCache(tmp_path).get(cell.key()) is None
+    qdir = tmp_path / "quarantine"
+    assert len(list(qdir.iterdir())) == 2
+
+
+def test_quarantined_entries_do_not_pollute_len_or_clear(tmp_path, cell):
+    cache = RunCache(tmp_path)
+    execute_cells([cell], jobs=1, cache=cache)
+    (tmp_path / f"{cell.key()}.json").write_text("junk")
+    fresh = RunCache(tmp_path)
+    assert fresh.get(cell.key()) is None
+    assert len(fresh) == 0
+    assert fresh.clear() == 0
+    assert (tmp_path / "quarantine" / f"{cell.key()}.json").exists()
+    assert fresh.info()["quarantined_entries"] == 1
+
+
+def test_sweep_survives_corrupt_entry(tmp_path, ofp_machine, ofp_linux):
+    """One bad file never kills a sweep: corrupt cell recomputed, the
+    rest replayed from disk."""
+    profile = ALL_PROFILES["LQCD"]()
+    cells = [RunCell(ofp_machine, profile, ofp_linux, n, 1, seed=5)
+             for n in (16, 64, 256)]
+    first = execute_cells(cells, jobs=1, cache=RunCache(tmp_path))
+    (tmp_path / f"{cells[1].key()}.json").write_text("{nope")
+    counters = PerfCounters()
+    with perf_context(cache=RunCache(tmp_path), counters=counters):
+        replay = execute_cells(cells)
+    assert counters.counts["cache.hits"] == 2
+    assert counters.counts["cache.misses"] == 1
+    assert replay == first
+    # The recompute healed the disk tier.
+    assert RunCache(tmp_path).get(cells[1].key()) == first[1]
+
+
+def test_verify_reports_and_quarantines(tmp_path, ofp_machine, ofp_linux):
+    profile = ALL_PROFILES["LQCD"]()
+    cells = [RunCell(ofp_machine, profile, ofp_linux, n, 1, seed=5)
+             for n in (16, 64, 256)]
+    execute_cells(cells, jobs=1, cache=RunCache(tmp_path))
+    bad = tmp_path / f"{cells[0].key()}.json"
+    bad.write_text("{nope")
+
+    report = RunCache(tmp_path).verify()
+    assert report["checked"] == 3
+    assert report["ok"] == 2
+    assert report["quarantined"] == [bad.name]
+    # A second pass over the healed tier is clean.
+    report2 = RunCache(tmp_path).verify()
+    assert report2 == {"checked": 2, "ok": 2, "quarantined": []}
+
+
+def test_verify_on_memory_only_cache():
+    assert RunCache().verify() == {"checked": 0, "ok": 0,
+                                   "quarantined": []}

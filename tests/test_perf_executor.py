@@ -132,3 +132,102 @@ def test_counters_record_fanout(ofp_machine, ofp_linux):
     assert counters.counts["executor.cells"] == 3
     assert counters.counts["executor.serial_cells"] == 3
     assert "executor.compute" in counters.timings
+
+
+def test_partial_pool_failure_retries_only_unfinished(
+        monkeypatch, caplog, ofp_machine, ofp_linux):
+    """A mid-batch pool death keeps the harvested results: the warning
+    names the failing cell's key and only the remainder is re-run."""
+    profile = ALL_PROFILES["AMG2013"]()
+    cells = [RunCell(ofp_machine, profile, ofp_linux, n, 1, 0)
+             for n in (16, 64, 256)]
+    reference = execute_cells(cells, jobs=1)
+
+    calls = []
+    by_key = {c.key(): r for c, r in zip(cells, reference)}
+
+    def flaky(pool, todo, jobs, *extra):
+        calls.append([c.key() for c in todo])
+        if len(calls) == 1:
+            # First cell finished, second blew up the pool.
+            raise executor_mod._PartialPoolFailure(
+                done={0: by_key[todo[0].key()]}, failed_index=1,
+                cause="BrokenProcessPool: worker died")
+        return [by_key[c.key()] for c in todo]
+
+    monkeypatch.setattr(executor_mod, "_run_pool", flaky)
+    counters = PerfCounters()
+    with caplog.at_level("WARNING", logger="repro.perf.executor"):
+        with perf_context(jobs=4, counters=counters):
+            results = execute_cells(cells)
+    assert len(calls) == 2
+    assert calls[0] == [c.key() for c in cells]
+    assert calls[1] == [cells[1].key(), cells[2].key()]  # only unfinished
+    assert cells[1].key() in caplog.text  # the failing cell is named
+    assert counters.counts["executor.pool_failures"] == 1
+    assert counters.counts["executor.cell_retries"] == 1
+    assert "executor.serial_cells" not in counters.counts
+    for r, ref in zip(results, reference):
+        assert_results_equal(r, ref)
+
+
+def test_partial_results_survive_total_pool_collapse(
+        monkeypatch, ofp_machine, ofp_linux):
+    """Even when every retry fails, harvested results are kept and only
+    the remainder runs serially."""
+    profile = ALL_PROFILES["AMG2013"]()
+    cells = [RunCell(ofp_machine, profile, ofp_linux, n, 1, 0)
+             for n in (16, 64)]
+    reference = execute_cells(cells, jobs=1)
+    by_key = {c.key(): r for c, r in zip(cells, reference)}
+
+    def always_failing(pool, todo, jobs, *extra):
+        done = {0: by_key[todo[0].key()]} if len(todo) > 1 else {}
+        raise executor_mod._PartialPoolFailure(
+            done=done, failed_index=len(done),
+            cause="timeout: cell exceeded budget")
+
+    monkeypatch.setattr(executor_mod, "_run_pool", always_failing)
+    counters = PerfCounters()
+    with perf_context(jobs=4, counters=counters, max_retries=1):
+        results = execute_cells(cells)
+    assert counters.counts["executor.pool_failures"] == 1
+    # Cell 0 was harvested on the first attempt; only cell 1 fell
+    # through to the serial path.
+    assert counters.counts["executor.serial_cells"] == 1
+    for r, ref in zip(results, reference):
+        assert_results_equal(r, ref)
+
+
+def test_zero_retries_goes_straight_to_serial(monkeypatch, ofp_machine,
+                                              ofp_linux):
+    profile = ALL_PROFILES["AMG2013"]()
+    cells = [RunCell(ofp_machine, profile, ofp_linux, n, 1, 0)
+             for n in (16, 64)]
+    reference = execute_cells(cells, jobs=1)
+
+    calls = []
+
+    def broken(pool, todo, jobs, *extra):
+        calls.append(len(todo))
+        raise BrokenProcessPool("worker died")
+
+    monkeypatch.setattr(executor_mod, "_run_pool", broken)
+    with perf_context(jobs=4, max_retries=0):
+        results = execute_cells(cells)
+    assert calls == [2]  # one attempt, no retry
+    for r, ref in zip(results, reference):
+        assert_results_equal(r, ref)
+
+
+def test_cell_timeout_still_produces_full_results(ofp_machine, ofp_linux):
+    """An absurdly small per-cell budget may expire the pool attempts,
+    but the serial fallback still completes the sweep byte-identically."""
+    profile = ALL_PROFILES["AMG2013"]()
+    cells = [RunCell(ofp_machine, profile, ofp_linux, n, 1, 0)
+             for n in (16, 64)]
+    reference = execute_cells(cells, jobs=1)
+    with perf_context(jobs=2, cell_timeout=1e-6, max_retries=1):
+        results = execute_cells(cells)
+    for r, ref in zip(results, reference):
+        assert_results_equal(r, ref)

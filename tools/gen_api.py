@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.net",
     "repro.apps",
     "repro.runtime",
+    "repro.faults",
     "repro.platform",
     "repro.experiments",
     "repro.perf",
@@ -50,7 +51,10 @@ Three composable layers:
   Any configuration change produces a new key, so stale entries are
   unreachable rather than invalidated.  The disk tier lives in
   `$REPRO_CACHE_DIR` (default `~/.cache/repro-runs`); writes are
-  atomic and corrupt entries read as misses.
+  atomic, and a corrupt entry (truncated write, bit rot, hand edit)
+  is moved to the `quarantine/` subdirectory and read as a miss — one
+  bad file never kills a sweep.  `repro cache verify` audits the whole
+  disk tier with the same check.
 * **Counters** — `PerfCounters` accumulates executor/cache event
   counts and wall-time; `repro experiments <ids> --stats` prints the
   report.
@@ -70,7 +74,8 @@ with perf_context(jobs=4, cache=RunCache.default()):
 
 CLI equivalents: `repro experiments fig5 --jobs 0 --stats`
 (`--jobs 0` = one worker per available CPU; `--no-cache`,
-`--cache-dir DIR` to steer the cache) and `repro cache info|clear`.
+`--cache-dir DIR` to steer the cache) and
+`repro cache info|clear|verify`.
 
 Guarantee: for every experiment id, parallel and cached runs render
 byte-identical output to a serial, uncached run
@@ -78,6 +83,51 @@ byte-identical output to a serial, uncached run
 opt-in `pytest -m perfsmoke` demo times the figure-regeneration loop
 and asserts the combined speedup; `tools/bench_compare.py` diffs two
 benchmark timing files and fails on >20% regressions.
+
+## Fault injection & tolerance (`repro.faults`)
+
+`FaultSpec` names a failure environment as data: per-node MTBF,
+cgroup OOM-kill / proxy-crash / daemon-stall rates (per node-hour, so
+exposure scales with job size × walltime), IKC drop probability, plus
+the tolerance policy (bounded retries with exponential backoff,
+optional periodic checkpoint/restart).  The default spec injects
+nothing and is omitted from canonical platform JSON, so every
+fault-free fingerprint, cache key and golden output is byte-identical
+to a build without fault support.
+
+`FaultInjector` turns a spec into deterministic `FaultEvent`
+schedules: every draw comes from a named stream seeded by
+`(spec.seed, fnv1a(stream))`, so a `(FaultSpec, stream)` pair replays
+identically on any process and for any `--jobs` value.
+
+Component wiring:
+
+* `BatchScheduler(engine, nodes, faults=spec)` runs the canonical
+  fault-tolerant job state machine — RUNNING → RESTARTING (bounded
+  retries, exponential backoff, checkpoint-aware restart point) →
+  FAILED — and reports `success_rate()`, `effective_utilization()`
+  (goodput: completed payload only) and `fault_report()` (the
+  checkpoint-cost vs lost-work tradeoff, per run).
+* `IkcChannel(spec, drop_rng=...)` models in-flight message loss with
+  sender-side re-delivery and timeout accounting; an injected OOM
+  raises the existing `CgroupLimitExceeded`; `ProxyProcess.crash()` /
+  `.respawn()` model the §6 proxy-death failure mode (all Linux-side
+  delegated state is lost).
+
+```python
+from repro.faults import FaultSpec
+from repro.platform import get_platform
+
+plat = get_platform("fugaku-production").with_faults(
+    node_mtbf_hours=8000.0, checkpoint_interval=1800.0,
+    checkpoint_cost=60.0, seed=42)
+plat.to_json()   # "faults" section present only when active
+```
+
+The `faults` experiment (`repro experiment faults --full`) sweeps job
+success rate and effective utilization against node count for both
+kernels under one seeded spec; `pytest -m faultsmoke` soaks the
+full-scale projection in CI.
 """
 
 
