@@ -11,6 +11,9 @@
     python -m repro compare LQCD --platform fugaku --nodes 2048
     python -m repro fwq --platform fugaku --os mckernel --duration 60
     python -m repro cache info|clear|verify
+    python -m repro trace run table2 --out trace.json [--jsonl ev.jsonl]
+    python -m repro trace summarize ev.jsonl --top 10
+    python -m repro metrics table2 fig5
 
 The CLI is a thin shell over the library; anything it prints can be
 obtained programmatically from :mod:`repro.experiments`,
@@ -24,6 +27,13 @@ Experiment runs fan their sweeps out over ``--jobs`` worker processes
 cache (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-runs``; disable with
 ``--no-cache``), so regenerating a figure is parallel the first time
 and a cache replay afterwards — byte-identical output either way.
+
+``trace run`` re-runs an experiment with the :mod:`repro.obs` tracer
+installed and writes a Chrome/Perfetto ``trace.json`` (open it at
+https://ui.perfetto.dev); ``--trace FILE`` on ``experiments`` does the
+same without changing the printed output.  ``metrics`` dumps the
+run's :class:`~repro.obs.metrics.MetricsRegistry` in Prometheus
+exposition format.
 """
 
 from __future__ import annotations
@@ -80,10 +90,13 @@ def _load_spec_file(path: str):
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from .errors import ConfigurationError
     from .experiments import run_experiment
+    from .obs.metrics import MetricsRegistry
+    from .obs.tracer import tracing
     from .perf.context import perf_context
-    from .perf.counters import PerfCounters
     from .platform import PlatformSpec
 
     platform = None
@@ -94,8 +107,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 f"{args.spec}: experiments take a platform spec, not a "
                 "run spec (drop the 'platform'/'app' nesting)")
     jobs = _auto_jobs() if args.jobs == 0 else args.jobs
-    counters = PerfCounters()
-    with perf_context(jobs=jobs, cache=_make_cache(args), counters=counters):
+    counters = MetricsRegistry()
+    trace_path = getattr(args, "trace", None)
+    scope = tracing() if trace_path else nullcontext(None)
+    with scope as tracer, \
+            perf_context(jobs=jobs, cache=_make_cache(args),
+                         counters=counters):
         for eid in args.ids:
             result = run_experiment(eid, fast=not args.full, seed=args.seed,
                                     platform=platform)
@@ -103,6 +120,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             if result.paper_reference:
                 print(f"[paper reference: {result.paper_reference}]")
             print()
+    if trace_path:
+        from .obs.export import write_chrome_trace
+
+        write_chrome_trace(tracer, trace_path,
+                           metadata={"experiments": args.ids,
+                                     "seed": args.seed,
+                                     "fast": not args.full})
+        print(f"trace written to {trace_path} "
+              f"({len(tracer)} events, layers: "
+              f"{', '.join(tracer.layers_seen())})", file=sys.stderr)
     if args.stats:
         print(counters.report())
     return 0
@@ -249,6 +276,51 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_cmd == "summarize":
+        from .obs.attribution import NoiseAttribution
+
+        attribution = NoiseAttribution.from_jsonl(args.file)
+        print(attribution.report(top_n=args.top))
+        return 0
+
+    # trace run
+    from .obs.runtrace import trace_experiment
+
+    jobs = _auto_jobs() if args.jobs == 0 else args.jobs
+    traced = trace_experiment(args.id, fast=not args.full, seed=args.seed,
+                              jobs=jobs, node_slice=not args.no_node_slice)
+    path = traced.write(args.out)
+    counts = traced.tracer.layer_counts()
+    print(f"{args.id}: {len(traced.tracer)} events -> {path}")
+    print("  layers: " + ", ".join(f"{k}={v}" for k, v in counts.items()))
+    if traced.tracer.dropped:
+        print(f"  ring overflow: {traced.tracer.dropped} event(s) dropped "
+              "(raise --buffer)", file=sys.stderr)
+    if args.jsonl:
+        print(f"  event log -> {traced.write_jsonl(args.jsonl)}")
+    if args.summary:
+        print()
+        print(traced.attribution().report(top_n=args.top))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .experiments import run_experiment
+    from .obs.export import prometheus_text
+    from .obs.metrics import MetricsRegistry
+    from .perf.context import perf_context
+
+    jobs = _auto_jobs() if args.jobs == 0 else args.jobs
+    metrics = MetricsRegistry()
+    with perf_context(jobs=jobs, cache=_make_cache(args), counters=metrics):
+        for eid in args.ids:
+            run_experiment(eid, fast=not args.full, seed=args.seed)
+            metrics.counter("experiments_run", experiment=eid).inc()
+    sys.stdout.write(prometheus_text(metrics))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -277,6 +349,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--spec", metavar="FILE",
                        help="platform spec JSON to re-target "
                             "platform-parameterised experiments at")
+    p_exp.add_argument("--trace", metavar="FILE",
+                       help="also record a cross-layer trace and write "
+                            "it as Chrome trace JSON (output and cache "
+                            "keys are unchanged)")
 
     p_plat = sub.add_parser("platform",
                             help="list, show or validate platform specs")
@@ -322,6 +398,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp_out.add_argument("--full", action="store_true")
     p_exp_out.add_argument("--seed", type=int, default=0)
 
+    p_trace = sub.add_parser(
+        "trace", help="record or summarize cross-layer traces")
+    trace_sub = p_trace.add_subparsers(dest="trace_cmd", required=True)
+    p_tr_run = trace_sub.add_parser(
+        "run", help="run one experiment with tracing on")
+    p_tr_run.add_argument("id", help="experiment id (see list)")
+    p_tr_run.add_argument("--out", default="trace.json", metavar="FILE",
+                          help="Chrome trace output (default trace.json; "
+                               "open at https://ui.perfetto.dev)")
+    p_tr_run.add_argument("--jsonl", metavar="FILE",
+                          help="also write the raw event log as JSONL")
+    p_tr_run.add_argument("--full", action="store_true")
+    p_tr_run.add_argument("--seed", type=int, default=0)
+    p_tr_run.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes (0 = one per CPU); the "
+                               "trace bytes are identical for any value")
+    p_tr_run.add_argument("--no-node-slice", action="store_true",
+                          help="skip the synthetic cross-layer node "
+                               "slice; trace only what the experiment "
+                               "itself exercises")
+    p_tr_run.add_argument("--summary", action="store_true",
+                          help="print the noise-attribution ranking")
+    p_tr_run.add_argument("--top", type=int, default=10, metavar="N",
+                          help="rows in the --summary ranking")
+    p_tr_sum = trace_sub.add_parser(
+        "summarize", help="rank interference actors from a JSONL log")
+    p_tr_sum.add_argument("file", help="trace JSONL (from trace run "
+                                       "--jsonl or experiments --trace)")
+    p_tr_sum.add_argument("--top", type=int, default=10, metavar="N")
+
+    p_metrics = sub.add_parser(
+        "metrics", help="run experiments, dump Prometheus-format metrics")
+    p_metrics.add_argument("ids", nargs="+", help="experiment ids")
+    p_metrics.add_argument("--full", action="store_true")
+    p_metrics.add_argument("--seed", type=int, default=0)
+    p_metrics.add_argument("--jobs", type=int, default=1, metavar="N")
+    p_metrics.add_argument("--no-cache", action="store_true")
+    p_metrics.add_argument("--cache-dir", metavar="DIR")
+
     p_fwq = sub.add_parser("fwq", help="run the FWQ noise benchmark")
     p_fwq.add_argument("--platform", choices=["fugaku", "ofp"],
                        default="fugaku")
@@ -346,6 +461,8 @@ def main(argv: list[str] | None = None) -> int:
         "export": _cmd_export,
         "fwq": _cmd_fwq,
         "cache": _cmd_cache,
+        "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
     }[args.command]
     return handler(args)
 

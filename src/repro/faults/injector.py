@@ -31,6 +31,8 @@ from ..errors import (
     NodeFailure,
     ProxyCrashed,
 )
+from ..obs.metrics import get_metrics
+from ..obs.tracer import get_tracer
 from ..sim.rng import fnv1a_64
 from .spec import FaultSpec
 
@@ -200,6 +202,17 @@ class FaultInjector:
                     node = int(rng.integers(0, n_nodes))
                     events.append(FaultEvent(time=t, kind=kind, node=node))
         events.sort(key=lambda ev: (ev.time, ev.kind.value, ev.node))
+        tracer = get_tracer()
+        if tracer is not None and events:
+            metrics = get_metrics()
+            for ev in events:
+                # Timestamps are window-relative (the attempt's own
+                # clock); the scheduler separately marks the fault that
+                # actually manifests at absolute simulation time.
+                tracer.event("faults", f"injected/{ev.kind.value}",
+                             ts=ev.time, actor=stream, node=ev.node)
+                metrics.counter("faults.injected",
+                                kind=ev.kind.value).inc()
         return FaultSchedule(window=window, events=events)
 
     def first_fatal(self, n_nodes: int, window: float, stream: str,

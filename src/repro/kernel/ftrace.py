@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
+from ..obs.tracer import get_tracer
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -65,6 +67,12 @@ class Ftrace:
             self.dropped += 1  # ring buffer overwrite, modelled as a drop
             self.events.pop(0)
         self.events.append(ev)
+        # Re-emit into the unified cross-layer tracer (repro.obs) so a
+        # kernel-local capture shows up on the stack-wide timeline.
+        t = get_tracer()
+        if t is not None:
+            t.event("kernel", ev.event, ts=ev.timestamp,
+                    duration=ev.duration, actor=ev.actor, cpu=ev.cpu_id)
 
     # -- analysis -------------------------------------------------------
 

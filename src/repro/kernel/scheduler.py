@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import ConfigurationError
+from ..obs.tracer import get_tracer
 
 
 @dataclass
@@ -96,14 +97,31 @@ class CfsScheduler:
         if horizon <= 0 or slice_len <= 0:
             raise ConfigurationError("horizon and slice_len must be positive")
         got: dict[int, float] = {tid: 0.0 for tid in self.runqueue}
+        tracer = get_tracer()
         t = 0.0
+        # For the unified trace, contiguous quanta of one task coalesce
+        # into a single sched_switch span (what ftrace would show).
+        span_task: Optional[SchedTask] = None
+        span_start = 0.0
         while t < horizon and self.runqueue:
             task = self.pick_next()
             assert task is not None
+            if tracer is not None and task is not span_task:
+                if span_task is not None:
+                    tracer.span("kernel", "sched_switch", ts=span_start,
+                                duration=t - span_start,
+                                actor=span_task.name or f"task{span_task.task_id}",
+                                cpu=self.cpu_id)
+                span_task, span_start = task, t
             quantum = min(slice_len, horizon - t)
             self.account(task.task_id, quantum)
             got[task.task_id] += quantum
             t += quantum
+        if tracer is not None and span_task is not None:
+            tracer.span("kernel", "sched_switch", ts=span_start,
+                        duration=t - span_start,
+                        actor=span_task.name or f"task{span_task.task_id}",
+                        cpu=self.cpu_id)
         return got
 
     # -- tick behaviour (noise-relevant) -----------------------------------

@@ -25,6 +25,7 @@ from typing import Any, Optional
 import numpy as np
 
 from ..errors import ConfigurationError, IkcTimeoutError, ResourceError
+from ..obs.tracer import get_tracer
 from ..sim.engine import Engine, Event
 from ..units import us
 
@@ -146,6 +147,11 @@ class IkcChannel:
         """
         msg = self.post(payload)
         arrived = engine.event(name=f"{self.name}.msg{msg.seq}")
+        posted_at = engine.now
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.event("ikc", "post", ts=posted_at, actor=self.name,
+                         seq=msg.seq)
 
         def delivery():
             redeliveries = 0
@@ -155,18 +161,34 @@ class IkcChannel:
                     # The receiver consumes the ring slot at delivery
                     # time.
                     got = self.deliver()
+                    t = get_tracer()
+                    if t is not None:
+                        t.span("ikc", f"msg{msg.seq}", ts=posted_at,
+                               duration=engine.now - posted_at,
+                               actor=self.name, seq=msg.seq,
+                               redeliveries=redeliveries)
                     arrived.succeed(got)
                     return
                 self.dropped += 1
+                t = get_tracer()
+                if t is not None:
+                    t.event("ikc", "drop", ts=engine.now,
+                            actor=self.name, seq=msg.seq)
                 if redeliveries >= self.spec.max_redeliveries:
                     self.timeouts += 1
                     # The lost message still occupied its ring slot;
                     # discard it so the ring drains.
                     self.deliver()
+                    if t is not None:
+                        t.event("ikc", "timeout", ts=engine.now,
+                                actor=self.name, seq=msg.seq)
                     arrived.succeed(None)
                     return
                 redeliveries += 1
                 self.redelivered += 1
+                if t is not None:
+                    t.event("ikc", "redeliver", ts=engine.now,
+                            actor=self.name, seq=msg.seq)
                 yield engine.timeout(self.spec.redelivery_timeout)
 
         engine.process(delivery(), name=f"{self.name}-deliver-{msg.seq}")

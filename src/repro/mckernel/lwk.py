@@ -36,6 +36,7 @@ from ..kernel.pagetable import (
 from ..kernel.scheduler import CooperativeScheduler
 from ..kernel.tasks import SystemTask, task_by_name
 from ..kernel.tuning import LinuxTuning, fugaku_production
+from ..obs.tracer import get_tracer
 from .ihk import Ihk, LwkPartition, OsState, reserve_fugaku_style
 from .picodriver import TofuPicoDriver
 from .proxy import ProxyProcess
@@ -174,16 +175,28 @@ class McKernelProcess:
         if not self.alive:
             raise SyscallError("ESRCH", f"process {self.pid} exited")
         costs = self.instance.costs
+        tracer = get_tracer()
+        # The process's accumulated syscall time is its deterministic
+        # clock: each traced call spans [time-so-far, +cost).
+        started = self.local_time + self.delegated_time
         if is_local(name):
             self.local_calls += 1
-            self.local_time += costs.syscall_cost(delegated=False)
+            cost = costs.syscall_cost(delegated=False)
+            self.local_time += cost
+            if tracer is not None:
+                tracer.span("lwk", name, ts=started, duration=cost,
+                            actor=f"lwk/{self.pid}", delegated=False)
             return self._serve_local(name, *args)
         self.delegated_calls += 1
         # IKC round trip on top of the Linux-side service cost.
-        self.delegated_time += (
+        cost = (
             costs.syscall_cost(delegated=False)
             + self.instance.partition.ikc.round_trip
         )
+        self.delegated_time += cost
+        if tracer is not None:
+            tracer.span("lwk", name, ts=started, duration=cost,
+                        actor=f"lwk/{self.pid}", delegated=True)
         return self._serve_delegated(name, *args)
 
     def _serve_local(self, name: str, *args) -> object:

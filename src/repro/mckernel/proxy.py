@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import ProxyCrashed, SyscallError
+from ..obs.tracer import get_tracer
 
 
 @dataclass
@@ -72,6 +73,12 @@ class ProxyProcess:
 
     def _record(self, name: str, args: tuple, result: object) -> None:
         self.delegations.append(DelegationRecord(name, args, result))
+        t = get_tracer()
+        if t is not None:
+            # The proxy has no clock of its own; the per-layer logical
+            # clock keeps its service order deterministic on the trace.
+            t.event("proxy", name, ts=t.advance("proxy"),
+                    actor=f"proxy/{self.pid}", lwk_pid=self.lwk_pid)
 
     def _ensure_alive(self) -> None:
         if self.crashed:
@@ -160,7 +167,12 @@ class ProxyProcess:
         :meth:`respawn`."""
         self.alive = False
         self.crashed = True
+        lost = len(self.fd_table)
         self.fd_table.clear()
+        t = get_tracer()
+        if t is not None:
+            t.event("proxy", "crash", ts=t.advance("proxy"),
+                    actor=f"proxy/{self.pid}", fds_lost=lost)
 
     def respawn(self) -> None:
         """Recovery: a fresh proxy context for the same LWK process.
@@ -179,6 +191,10 @@ class ProxyProcess:
         self.alive = True
         self.crashed = False
         self.respawns += 1
+        t = get_tracer()
+        if t is not None:
+            t.event("proxy", "respawn", ts=t.advance("proxy"),
+                    actor=f"proxy/{self.pid}", respawns=self.respawns)
 
     @property
     def open_fd_count(self) -> int:

@@ -13,8 +13,10 @@ without perturbing a single simulated number:
   the complete run configuration (machine, profile, OS tuning,
   n_nodes, n_runs, seed), values live in memory and optionally on disk
   (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-runs``);
-* :mod:`repro.perf.counters` — lightweight wall-time / hit-rate
-  instrumentation surfaced by ``repro experiments --stats``.
+* :mod:`repro.obs.metrics` — wall-time / hit-rate / labeled-series
+  instrumentation surfaced by ``repro experiments --stats`` and
+  ``repro metrics`` (:mod:`repro.perf.counters` is the deprecated
+  compatibility shim).
 
 :mod:`repro.perf.context` ties them together: ``perf_context(jobs=4,
 cache=...)`` makes every sweep inside the block fan out and memoize.
@@ -22,6 +24,7 @@ cache=...)`` makes every sweep inside the block fan out and memoize.
 
 from __future__ import annotations
 
+from ..obs.metrics import MetricsRegistry
 from .cache import RunCache, default_cache_dir
 from .context import PerfContext, get_context, perf_context
 from .counters import PerfCounters, get_counters
@@ -29,6 +32,7 @@ from .executor import RunCell, execute_cells
 from .fingerprint import fingerprint, run_key, spec_key
 
 __all__ = [
+    "MetricsRegistry",
     "PerfContext",
     "PerfCounters",
     "RunCache",

@@ -24,8 +24,8 @@ from typing import TYPE_CHECKING, Iterator, Optional
 if TYPE_CHECKING:
     from concurrent.futures import ProcessPoolExecutor
 
+    from ..obs.metrics import MetricsRegistry
     from .cache import RunCache
-    from .counters import PerfCounters
 
 
 @dataclass
@@ -36,8 +36,9 @@ class PerfContext:
     jobs: int = 1
     #: Memoization cache for RunResults; None disables caching.
     cache: Optional["RunCache"] = None
-    #: Instrumentation sink; None falls back to the global counters.
-    counters: Optional["PerfCounters"] = None
+    #: Instrumentation sink (a :class:`repro.obs.metrics.MetricsRegistry`);
+    #: None falls back to the global registry.
+    counters: Optional["MetricsRegistry"] = None
     #: Wall-clock budget per cell in the parallel path, seconds; None
     #: waits forever.  A timed-out cell counts as a pool failure and is
     #: retried like one.
@@ -88,7 +89,7 @@ def get_context() -> PerfContext:
 def perf_context(
     jobs: int = 1,
     cache: Optional["RunCache"] = None,
-    counters: Optional["PerfCounters"] = None,
+    counters: Optional["MetricsRegistry"] = None,
     cell_timeout: Optional[float] = None,
     max_retries: int = 2,
 ) -> Iterator[PerfContext]:

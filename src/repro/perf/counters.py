@@ -1,89 +1,33 @@
-"""Lightweight timing and hit-rate instrumentation.
+"""Deprecated shim — superseded by :mod:`repro.obs.metrics`.
 
-A :class:`PerfCounters` holds named monotonic counters and accumulated
-wall-time timers.  The executor and the run cache record into the
-ambient instance (:func:`get_counters`); ``repro experiments --stats``
-prints :meth:`PerfCounters.report` after the run.
+``PerfCounters`` grew labels, gauges and histograms and moved to
+:class:`repro.obs.metrics.MetricsRegistry`; the registry implements the
+complete legacy surface (:meth:`add`, :meth:`timer`, :attr:`counts`,
+:attr:`timings`, :meth:`hit_rate`, :meth:`report`, :meth:`snapshot`),
+so every existing import and call keeps working:
 
-The layer is deliberately dependency-free and cheap enough to stay on
-in production: one dict update per event, one ``perf_counter`` pair per
-timed block.
+    from repro.perf.counters import PerfCounters, get_counters  # still fine
+
+New code should import :class:`~repro.obs.metrics.MetricsRegistry` /
+:func:`~repro.obs.metrics.get_metrics` directly; this module exists
+only so old imports don't break and will be removed in a future major
+version.
 """
 
 from __future__ import annotations
 
-import time
-from collections import defaultdict
-from contextlib import contextmanager
-from typing import Iterator
+import warnings
+
+from ..obs.metrics import MetricsRegistry, get_metrics
+
+#: Deprecated alias of :class:`repro.obs.metrics.MetricsRegistry`.
+PerfCounters = MetricsRegistry
 
 
-class PerfCounters:
-    """Named event counters plus accumulated wall-clock timers."""
-
-    def __init__(self) -> None:
-        self.counts: dict[str, int] = defaultdict(int)
-        self.timings: dict[str, float] = defaultdict(float)
-
-    # -- recording ----------------------------------------------------
-
-    def add(self, name: str, n: int = 1) -> None:
-        """Increment the event counter ``name`` by ``n``."""
-        self.counts[name] += n
-
-    @contextmanager
-    def timer(self, name: str) -> Iterator[None]:
-        """Accumulate the wall time of the ``with`` body under ``name``."""
-        t0 = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.timings[name] += time.perf_counter() - t0
-
-    def reset(self) -> None:
-        self.counts.clear()
-        self.timings.clear()
-
-    # -- reading ------------------------------------------------------
-
-    def snapshot(self) -> dict:
-        """Plain-dict copy (counts, timings) for assertions/export."""
-        return {"counts": dict(self.counts), "timings": dict(self.timings)}
-
-    def hit_rate(self, prefix: str = "cache") -> float:
-        """``<prefix>.hits / (<prefix>.hits + <prefix>.misses)``; 0.0
-        when nothing was recorded."""
-        hits = self.counts.get(f"{prefix}.hits", 0)
-        misses = self.counts.get(f"{prefix}.misses", 0)
-        total = hits + misses
-        return hits / total if total else 0.0
-
-    def report(self) -> str:
-        """Human-readable summary (the ``--stats`` output)."""
-        lines = ["perf counters:"]
-        if not self.counts and not self.timings:
-            lines.append("  (nothing recorded)")
-            return "\n".join(lines)
-        for name in sorted(self.counts):
-            lines.append(f"  {name:<28} {self.counts[name]}")
-        for name in sorted(self.timings):
-            lines.append(f"  {name:<28} {self.timings[name]:.3f} s")
-        total = self.counts.get("cache.hits", 0) + self.counts.get(
-            "cache.misses", 0)
-        if total:
-            lines.append(f"  {'cache.hit_rate':<28} {self.hit_rate():.1%}")
-        return "\n".join(lines)
-
-
-#: Process-wide default instance; the context layer points at it unless
-#: a scope installs its own.
-_GLOBAL = PerfCounters()
-
-
-def get_counters() -> PerfCounters:
-    """The ambient counters (the context's, falling back to the global
-    instance)."""
-    from .context import get_context
-
-    ctx = get_context()
-    return ctx.counters if ctx.counters is not None else _GLOBAL
+def get_counters() -> MetricsRegistry:
+    """Deprecated alias of :func:`repro.obs.metrics.get_metrics`."""
+    warnings.warn(
+        "repro.perf.counters.get_counters() is deprecated; use "
+        "repro.obs.metrics.get_metrics()",
+        DeprecationWarning, stacklevel=2)
+    return get_metrics()

@@ -28,8 +28,9 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from ..obs.metrics import get_metrics
+from ..obs.tracer import get_tracer
 from .context import get_context
-from .counters import get_counters
 from .fingerprint import run_key, spec_key
 
 if TYPE_CHECKING:
@@ -166,7 +167,7 @@ def execute_cells(
         cell_timeout = ctx.cell_timeout
     if max_retries is None:
         max_retries = ctx.max_retries
-    counters = get_counters()
+    counters = get_metrics()
     counters.add("executor.cells", len(cells))
 
     results: list[Optional["RunResult"]] = [None] * len(cells)
@@ -196,6 +197,23 @@ def execute_cells(
         results[i] = result
         if cache is not None:
             cache.put(keys[i], result, spec=cells[i].spec)
+    tracer = get_tracer()
+    if tracer is not None:
+        # Parent-side spans in submission order: deterministic for any
+        # --jobs value and laid end to end on the perf layer's logical
+        # clock, with the cell's *simulated* mean time as the length
+        # (wall time is nondeterministic and stays out of the trace).
+        computed_set = set(pending)
+        for i, result in enumerate(results):
+            counters.counter("executor.cells_by_kernel",
+                             kernel=result.os_kind).inc()
+            tracer.span(
+                "perf",
+                f"{result.app}/{result.os_kind}/n{result.n_nodes}",
+                ts=tracer.advance("perf", result.mean_time),
+                duration=result.mean_time, actor="executor",
+                cached=i not in computed_set,
+                key=keys[i] if i in keys else cells[i].key())
     return results  # type: ignore[return-value]
 
 
@@ -232,10 +250,12 @@ def _dispatch(cells: Sequence[RunCell], jobs: int, ctx, counters,
                 counters.add("executor.pool_failures")
             counters.add("executor.cell_retries")
             failed_cell = batch[failure.failed_index]
+            # Soak logs must attribute failures to a specific retry
+            # attempt, not just the cell key.
             logger.warning(
                 "sweep cell %s failed in the worker pool (%s); "
                 "%d/%d cells of this batch finished, retrying the rest "
-                "(attempt %d/%d)",
+                "(retry attempt %d/%d)",
                 failed_cell.key(), failure.cause, len(failure.done),
                 len(batch), failures, max_retries)
             for pos, result in failure.done.items():
@@ -253,7 +273,7 @@ def _dispatch(cells: Sequence[RunCell], jobs: int, ctx, counters,
             logger.warning(
                 "worker pool failed before any cell could be "
                 "attributed (%s: %s); retrying %d cells "
-                "(attempt %d/%d)", type(exc).__name__, exc,
+                "(retry attempt %d/%d)", type(exc).__name__, exc,
                 len(pending), failures, max_retries)
             continue
         for pos, result in zip(pending, out):

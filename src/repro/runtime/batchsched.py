@@ -44,6 +44,8 @@ from ..errors import (
 from ..faults.injector import FaultEvent, FaultInjector
 from ..faults.spec import FaultSpec
 from ..faults.tolerance import CheckpointPolicy, RetryPolicy
+from ..obs.metrics import get_metrics
+from ..obs.tracer import get_tracer
 from ..sim.engine import Engine, Event
 from .job import OsChoice
 
@@ -172,6 +174,10 @@ class BatchScheduler:
             )
         job.submit_time = self.engine.now
         self.queue.append(job)
+        t = get_tracer()
+        if t is not None:
+            t.event("sched", "submit", ts=self.engine.now, actor=job.name,
+                    nodes=job.n_nodes, os=job.os_choice.value)
         self._schedule()
         return job
 
@@ -184,18 +190,21 @@ class BatchScheduler:
         job.state = JobState.RUNNING
         if job.start_time is None:
             job.start_time = self.engine.now
+        attempt_started = self.engine.now
         plan = self._plan_attempt(job)
 
         def run():
             if plan is None:
                 # Fault-free path: identical to the happy-path scheduler.
                 yield self.engine.timeout(job.wall_occupancy)
+                self._trace_attempt(job, attempt_started, "done")
                 self._complete(job)
                 return
             if plan.fatal is None:
                 yield self.engine.timeout(plan.occupancy)
                 job.checkpoint_time += plan.checkpoint_overhead
                 job.stall_time += plan.stall_time
+                self._trace_attempt(job, attempt_started, "done")
                 self._complete(job)
                 return
             yield self.engine.timeout(plan.fatal.time)
@@ -206,9 +215,25 @@ class BatchScheduler:
             try:
                 raise plan.fatal.exception()
             except (NodeFailure, CgroupLimitExceeded, ProxyCrashed):
+                self._trace_attempt(job, attempt_started,
+                                    plan.fatal.kind.value)
                 self._abort_attempt(job, plan)
 
         self.engine.process(run(), name=f"job/{job.name}/a{job.attempts}")
+
+    def _trace_attempt(self, job: BatchJob, started: float,
+                       outcome: str) -> None:
+        """One attempt span on the sched track; a failed attempt also
+        drops the manifested fault on the faults track."""
+        t = get_tracer()
+        if t is None:
+            return
+        t.span("sched", f"{job.name}/attempt{job.attempts}", ts=started,
+               duration=self.engine.now - started, actor=job.name,
+               outcome=outcome, nodes=job.n_nodes)
+        if outcome != "done":
+            t.event("faults", outcome, ts=self.engine.now, actor=job.name,
+                    attempt=job.attempts)
 
     def _plan_attempt(self, job: BatchJob) -> Optional[_AttemptPlan]:
         """Sample this attempt's fault schedule; None = no injection."""
@@ -238,6 +263,8 @@ class BatchScheduler:
         self.running.remove(job)
         self.finished.append(job)
         self.free_nodes += job.n_nodes
+        get_metrics().counter("sched.jobs_done",
+                              kernel=job.os_choice.value).inc()
         self._schedule()
 
     def _abort_attempt(self, job: BatchJob, plan: _AttemptPlan) -> None:
@@ -263,10 +290,19 @@ class BatchScheduler:
         job.lost_time += total - resume_from
         job.progress_done = resume_from
         job.attempts += 1
+        metrics = get_metrics()
+        metrics.counter("sched.attempts_aborted",
+                        kernel=job.os_choice.value).inc()
         if self.retry.exhausted(job.attempts):
             job.state = JobState.FAILED
             job.end_time = self.engine.now
             self.failed.append(job)
+            metrics.counter("sched.jobs_failed",
+                            kernel=job.os_choice.value).inc()
+            t = get_tracer()
+            if t is not None:
+                t.event("sched", "failed", ts=self.engine.now,
+                        actor=job.name, attempts=job.attempts)
             self._schedule()
             return
         job.state = JobState.RESTARTING

@@ -1,0 +1,148 @@
+"""repro.obs.export: Chrome trace structure, validation, JSONL,
+Prometheus text, and byte determinism of every writer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.export import (
+    TRACE_FORMAT_VERSION,
+    chrome_trace,
+    chrome_trace_json,
+    ensure_valid_chrome_trace,
+    jsonl_lines,
+    prometheus_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import LAYERS, Tracer
+
+
+def sample_tracer() -> Tracer:
+    t = Tracer()
+    t.event("kernel", "tick", ts=1.5e-6, actor="cfs", cpu=0)
+    t.span("ikc", "msg0", ts=0.0, duration=1.3e-6, actor="lwk->linux")
+    t.event("faults", "oom_kill", ts=2.0, actor="job-a")
+    return t
+
+
+def test_chrome_trace_structure():
+    obj = chrome_trace(sample_tracer(), metadata={"experiment": "x"})
+    events = obj["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    # One thread_name per layer plus the process_name record.
+    assert len(meta) == len(LAYERS) + 1
+    spans = [e for e in events if e["ph"] == "X"]
+    assert len(spans) == 1
+    assert spans[0]["dur"] == pytest.approx(1.3)  # us
+    assert spans[0]["cat"] == "ikc"
+    instants = [e for e in events if e["ph"] == "i"]
+    assert {e["s"] for e in instants} == {"t"}
+    assert obj["otherData"]["formatVersion"] == TRACE_FORMAT_VERSION
+    assert obj["otherData"]["experiment"] == "x"
+    assert obj["otherData"]["layers"] == {"kernel": 1, "ikc": 1,
+                                          "faults": 1}
+    # Layer <-> tid mapping is positional.
+    assert spans[0]["tid"] == LAYERS.index("ikc")
+
+
+def test_chrome_trace_validates_clean_and_catches_breakage():
+    obj = chrome_trace(sample_tracer())
+    assert validate_chrome_trace(obj) == []
+    ensure_valid_chrome_trace(obj)  # no raise
+
+    assert validate_chrome_trace([]) == ["top level is not an object"]
+    assert validate_chrome_trace({}) == ["traceEvents missing or empty"]
+    broken = chrome_trace(sample_tracer())
+    broken["traceEvents"][-1]["cat"] = "nope"
+    broken["traceEvents"][-2]["ts"] = -1
+    problems = validate_chrome_trace(broken)
+    assert any("not a known layer" in p for p in problems)
+    assert any("bad ts" in p for p in problems)
+    with pytest.raises(ConfigurationError, match="invalid Chrome trace"):
+        ensure_valid_chrome_trace(broken)
+
+
+def test_chrome_trace_json_is_byte_deterministic(tmp_path):
+    a = chrome_trace_json(sample_tracer(), metadata={"seed": 0})
+    b = chrome_trace_json(sample_tracer(), metadata={"seed": 0})
+    assert a == b
+    assert a.endswith("\n")
+    path = write_chrome_trace(sample_tracer(), str(tmp_path / "t.json"),
+                              metadata={"seed": 0})
+    assert open(path, encoding="utf-8").read() == a
+
+
+def test_record_order_does_not_change_the_bytes():
+    """Events land sorted by (layer, ts, seq) in the export, so two
+    tracers fed the same events in different order agree... per layer."""
+    t1, t2 = Tracer(), Tracer()
+    t1.event("kernel", "a", ts=1.0)
+    t1.event("kernel", "b", ts=0.5)
+    t2.event("kernel", "b", ts=0.5)
+    t2.event("kernel", "a", ts=1.0)
+    names = [e["name"] for e in chrome_trace(t1)["traceEvents"]
+             if e["ph"] != "M"]
+    assert names == ["b", "a"]
+    names2 = [e["name"] for e in chrome_trace(t2)["traceEvents"]
+              if e["ph"] != "M"]
+    assert names2 == ["b", "a"]
+
+
+def test_jsonl_round_trip(tmp_path):
+    t = sample_tracer()
+    lines = list(jsonl_lines(t))
+    assert len(lines) == 3
+    first = json.loads(lines[0])
+    assert first == {"layer": "ikc", "name": "msg0", "ts": 0.0,
+                     "dur": 1.3, "actor": "lwk->linux", "args": {},
+                     "seq": 1}
+    path = write_jsonl(t, str(tmp_path / "t.jsonl"))
+    assert open(path, encoding="utf-8").read() == \
+        "".join(line + "\n" for line in lines)
+
+
+def test_prometheus_text_format():
+    m = MetricsRegistry()
+    m.counter("sched.jobs_done", kernel="linux").inc(3)
+    m.counter("sched.jobs_done", kernel="mckernel").inc()
+    m.gauge("queue.depth").set(2.5)
+    m.histogram("lat", buckets=(1.0, 10.0)).observe(0.5)
+    m.histogram("lat", buckets=(1.0, 10.0)).observe(5.0)
+    with m.timer("compute"):
+        pass
+    text = prometheus_text(m)
+    # One TYPE comment per metric name, series grouped beneath it.
+    assert text.count("# TYPE repro_sched_jobs_done counter") == 1
+    assert 'repro_sched_jobs_done{kernel="linux"} 3' in text
+    assert 'repro_sched_jobs_done{kernel="mckernel"} 1' in text
+    assert "# TYPE repro_queue_depth gauge" in text
+    assert "repro_queue_depth 2.5" in text
+    assert 'repro_lat_bucket{le="1.0"} 1' in text
+    assert 'repro_lat_bucket{le="10.0"} 2' in text       # cumulative
+    assert 'repro_lat_bucket{le="+Inf"} 2' in text
+    assert "repro_lat_sum 5.5" in text
+    assert "repro_lat_count 2" in text
+    assert "# TYPE repro_timing_seconds gauge" in text
+    assert 'repro_timing_seconds{name="compute"} ' in text
+    assert prometheus_text(MetricsRegistry()) == ""
+
+
+def test_prometheus_text_is_deterministic():
+    def build():
+        m = MetricsRegistry()
+        m.counter("b").inc()
+        m.counter("a", k="2").inc()
+        m.counter("a", k="1").inc()
+        return prometheus_text(m)
+
+    assert build() == build()
+    # Sorted by (name, labels) regardless of creation order.
+    body = [line for line in build().splitlines()
+            if not line.startswith("#")]
+    assert body == ['repro_a{k="1"} 1', 'repro_a{k="2"} 1', "repro_b 1"]

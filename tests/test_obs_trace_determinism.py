@@ -1,0 +1,79 @@
+"""The observability determinism contract (ISSUE 4 acceptance):
+
+* two traced runs of the same (experiment, seed) produce byte-identical
+  trace.json, for any --jobs value;
+* installing a tracer changes neither experiment output nor cache keys;
+* a traced run covers at least five distinct layers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps import ALL_PROFILES
+from repro.experiments import run_experiment
+from repro.obs.export import validate_chrome_trace
+from repro.obs.runtrace import trace_experiment
+from repro.obs.tracer import tracing
+from repro.perf.executor import RunCell
+
+
+@pytest.fixture(scope="module")
+def traced_eq1():
+    return trace_experiment("eq1", fast=True, seed=0)
+
+
+def test_traced_run_covers_at_least_five_layers(traced_eq1):
+    layers = set(traced_eq1.tracer.layers_seen())
+    assert {"kernel", "lwk", "ikc", "proxy", "sched", "perf",
+            "faults"} <= layers
+    assert len(layers) >= 5
+
+
+def test_trace_json_is_chrome_valid(traced_eq1):
+    obj = json.loads(traced_eq1.chrome_json())
+    assert validate_chrome_trace(obj) == []
+    assert obj["otherData"]["experiment"] == "eq1"
+
+
+def test_repeated_traced_runs_are_byte_identical(traced_eq1):
+    again = trace_experiment("eq1", fast=True, seed=0)
+    assert again.chrome_json() == traced_eq1.chrome_json()
+    assert list(map(str, again.tracer.events)) == \
+        list(map(str, traced_eq1.tracer.events))
+
+
+def test_jobs_value_does_not_change_the_trace(traced_eq1):
+    parallel = trace_experiment("eq1", fast=True, seed=0, jobs=2)
+    assert parallel.chrome_json() == traced_eq1.chrome_json()
+
+
+def test_seed_does_change_the_trace(traced_eq1):
+    other = trace_experiment("eq1", fast=True, seed=1)
+    assert other.chrome_json() != traced_eq1.chrome_json()
+
+
+def test_tracing_does_not_change_experiment_output():
+    plain = run_experiment("eq1", fast=True, seed=0)
+    with tracing():
+        traced = run_experiment("eq1", fast=True, seed=0)
+    assert traced.render() == plain.render()
+    assert traced.data == plain.data
+
+
+def test_tracing_does_not_change_cache_keys(ofp_machine, ofp_linux):
+    cell = RunCell(ofp_machine, ALL_PROFILES["Lulesh"](), ofp_linux,
+                   16, 1, 0)
+    plain_key = cell.key()
+    with tracing():
+        assert cell.key() == plain_key
+
+
+def test_node_slice_is_optional():
+    bare = trace_experiment("eq1", fast=True, seed=0, node_slice=False)
+    # eq1 is purely analytic: without the slice it traces nothing,
+    # which is exactly the zero-overhead contract.
+    assert bare.tracer.layers_seen() == []
+    assert json.loads(bare.chrome_json())["otherData"]["layers"] == {}

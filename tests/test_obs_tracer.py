@@ -1,0 +1,97 @@
+"""repro.obs.tracer: layers, ring bound, ambient scope, logical clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.tracer import LAYERS, Tracer, get_tracer, tracing
+
+
+def test_event_and_span_recording():
+    t = Tracer()
+    inst = t.event("kernel", "tick", ts=1.0, actor="cfs", cpu=3)
+    span = t.span("ikc", "msg0", ts=2.0, duration=0.5, actor="lwk->linux")
+    assert not inst.is_span and span.is_span
+    assert inst.args == {"cpu": 3}
+    assert [ev.seq for ev in t.events] == [0, 1]
+    assert len(t) == 2
+
+
+def test_unknown_layer_rejected():
+    t = Tracer()
+    with pytest.raises(ConfigurationError, match="unknown trace layer"):
+        t.event("kernal", "oops", ts=0.0)
+
+
+def test_ring_buffer_bounds_memory_and_counts_drops():
+    t = Tracer(buffer_size=4)
+    for i in range(10):
+        t.event("hw", f"e{i}", ts=float(i))
+    assert len(t) == 4
+    assert t.dropped == 6
+    # The oldest events were evicted, the newest survive.
+    assert [ev.name for ev in t.events] == ["e6", "e7", "e8", "e9"]
+    # seq keeps counting across evictions (it is the global order).
+    assert t.events[-1].seq == 9
+
+
+def test_buffer_size_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        Tracer(buffer_size=0)
+
+
+def test_ambient_tracer_nesting_restores_previous():
+    assert get_tracer() is None
+    with tracing() as outer:
+        assert get_tracer() is outer
+        with tracing() as inner:
+            assert get_tracer() is inner
+        assert get_tracer() is outer
+    assert get_tracer() is None
+
+
+def test_ambient_tracer_restored_on_exception():
+    with pytest.raises(RuntimeError):
+        with tracing():
+            raise RuntimeError("boom")
+    assert get_tracer() is None
+
+
+def test_advance_is_a_per_layer_logical_clock():
+    t = Tracer()
+    assert t.advance("proxy") == 0.0
+    assert t.advance("proxy") == 1.0
+    assert t.advance("perf", 2.5) == 0.0
+    assert t.advance("perf", 1.0) == 2.5
+    # Independent per layer.
+    assert t.advance("proxy") == 2.0
+
+
+def test_clear_resets_everything():
+    t = Tracer(buffer_size=2)
+    for i in range(5):
+        t.event("hw", "e", ts=0.0)
+    t.advance("perf")
+    t.clear()
+    assert len(t) == 0 and t.dropped == 0
+    assert t.advance("perf") == 0.0
+    assert t.event("hw", "e", ts=0.0).seq == 0
+
+
+def test_layer_queries_and_filter():
+    t = Tracer()
+    t.event("kernel", "a", ts=0.0, actor="x")
+    t.event("faults", "b", ts=1.0, actor="y")
+    t.event("kernel", "c", ts=2.0, actor="y")
+    assert t.layers_seen() == ["kernel", "faults"]  # display order
+    assert t.layer_counts() == {"kernel": 2, "faults": 1}
+    assert [e.name for e in t.filter(layers=["kernel"])] == ["a", "c"]
+    assert [e.name for e in t.filter(actors=["y"])] == ["b", "c"]
+    assert [e.name for e in t.filter(predicate=lambda e: e.ts > 0.5)] == \
+        ["b", "c"]
+
+
+def test_layer_order_is_the_fixed_display_order():
+    assert LAYERS == ("hw", "kernel", "lwk", "ikc", "proxy", "sched",
+                      "perf", "faults")

@@ -164,6 +164,8 @@ def test_partial_pool_failure_retries_only_unfinished(
     assert calls[0] == [c.key() for c in cells]
     assert calls[1] == [cells[1].key(), cells[2].key()]  # only unfinished
     assert cells[1].key() in caplog.text  # the failing cell is named
+    # Soak logs must attribute each warning to a specific retry attempt.
+    assert "retry attempt 1/2" in caplog.text
     assert counters.counts["executor.pool_failures"] == 1
     assert counters.counts["executor.cell_retries"] == 1
     assert "executor.serial_cells" not in counters.counts

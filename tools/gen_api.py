@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.platform",
     "repro.experiments",
     "repro.perf",
+    "repro.obs",
 ]
 
 # Hand-written prose appended after the generated tables, so a
@@ -55,9 +56,14 @@ Three composable layers:
   is moved to the `quarantine/` subdirectory and read as a miss — one
   bad file never kills a sweep.  `repro cache verify` audits the whole
   disk tier with the same check.
-* **Counters** — `PerfCounters` accumulates executor/cache event
-  counts and wall-time; `repro experiments <ids> --stats` prints the
-  report.
+* **Metrics** — `repro.obs.MetricsRegistry` (the successor of
+  `PerfCounters`, which remains as a deprecated alias) accumulates
+  executor/cache event counts, wall-time, and labeled series;
+  `repro experiments <ids> --stats` prints the report and
+  `repro metrics <ids>` dumps Prometheus exposition text.
+
+See `docs/OBSERVABILITY.md` for the cross-layer tracer
+(`repro trace run`), exporters, and the noise-attribution workflow.
 
 Entry points:
 
