@@ -1,0 +1,202 @@
+"""Determinism sanitizer driver: files in, deterministic report out.
+
+``repro analyze lint [paths...]`` (or the ``repro-lint`` console
+script) parses every ``.py`` file under the given paths, runs the
+:mod:`repro.analysis.rules` catalog over each, subtracts the
+checked-in baseline, and renders findings sorted by location — the
+same bytes on every machine, which is what lets CI diff the gate's
+output.
+
+Exit codes: ``0`` clean (possibly with baselined suppressions), ``1``
+at least one unsuppressed finding, ``2`` usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import pathlib
+import sys
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..errors import ConfigurationError
+from .baseline import DEFAULT_BASELINE_PATH, Baseline
+from .rules import RULES, RULES_BY_ID, FileChecker, Finding
+
+__all__ = ["LintReport", "lint_paths", "canonical_path", "main"]
+
+#: Path segment that anchors canonical finding paths: anything inside
+#: the installed/checked-out ``repro`` package reports as
+#: ``repro/<subpath>`` regardless of where the tree lives on disk, so
+#: baseline entries are machine-independent.
+_PACKAGE_MARKER = "/repro/"
+
+
+def canonical_path(path: pathlib.Path) -> str:
+    """Stable, machine-independent identity of a linted file."""
+    p = path.resolve().as_posix()
+    if _PACKAGE_MARKER in p:
+        return "repro/" + p.rsplit(_PACKAGE_MARKER, 1)[1]
+    try:
+        return path.resolve().relative_to(
+            pathlib.Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def iter_python_files(paths: Sequence[str | pathlib.Path]
+                      ) -> list[pathlib.Path]:
+    """Every ``.py`` file under ``paths``, sorted (the linter applies
+    its own DET003 discipline to itself)."""
+    out: list[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            out.append(path)
+        else:
+            raise ConfigurationError(f"lint target {raw!r} not found")
+    return out
+
+
+def lint_file(path: pathlib.Path) -> list[Finding]:
+    """All rule hits in one file (baseline not applied)."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise ConfigurationError(f"{path}: not parseable: {exc}")
+    checker = FileChecker(canonical_path(path), source, tree)
+    checker.visit(tree)
+    return checker.findings
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run: surviving findings + suppressions."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    stale_baseline: list = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s) "
+            f"({len(self.suppressed)} suppressed by baseline) "
+            f"across {self.files_checked} file(s)")
+        for entry in self.stale_baseline:
+            lines.append(
+                f"stale baseline entry (matched nothing): "
+                f"{entry.rule} {entry.path} [{entry.scope}] "
+                f"{entry.snippet!r}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "files_checked": self.files_checked,
+            "findings": [vars(f) for f in self.findings],
+            "suppressed": [vars(f) for f in self.suppressed],
+            "stale_baseline": [vars(e) for e in self.stale_baseline],
+        }
+
+
+def lint_paths(paths: Sequence[str | pathlib.Path],
+               baseline: Optional[Baseline] = None) -> LintReport:
+    """Lint every ``.py`` under ``paths``; findings sorted by
+    ``(path, line, col, rule)`` so the report is byte-deterministic."""
+    report = LintReport()
+    all_findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        report.files_checked += 1
+        all_findings.extend(lint_file(path))
+    all_findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    for finding in all_findings:
+        if baseline is not None and baseline.suppresses(finding):
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    if baseline is not None:
+        report.stale_baseline = baseline.stale_entries()
+    return report
+
+
+def rule_catalog() -> str:
+    """The rule table ``repro analyze lint --rules`` prints."""
+    lines = ["determinism sanitizer rules:"]
+    for rule in RULES:
+        lines.append(f"  {rule.rule_id}  {rule.title}")
+        lines.append(f"          fix: {rule.fixit}")
+    return "\n".join(lines)
+
+
+def default_lint_paths() -> list[pathlib.Path]:
+    """With no explicit targets, lint the installed repro package."""
+    return [pathlib.Path(__file__).resolve().parent.parent]
+
+
+def run_lint(paths: Sequence[str] | None = None,
+             baseline_path: Optional[str] = None,
+             no_baseline: bool = False,
+             output_format: str = "text",
+             list_rules: bool = False,
+             out=None) -> int:
+    """Shared body of ``repro analyze lint`` and ``repro-lint``."""
+    if out is None:  # bind at call time so stream capture works
+        out = sys.stdout
+    if list_rules:
+        print(rule_catalog(), file=out)
+        return 0
+    baseline = None
+    if not no_baseline:
+        source = pathlib.Path(baseline_path) if baseline_path \
+            else DEFAULT_BASELINE_PATH
+        if source.exists():
+            baseline = Baseline.load(source)
+        elif baseline_path:
+            raise ConfigurationError(
+                f"baseline {baseline_path!r} not found")
+    targets = list(paths) if paths else default_lint_paths()
+    report = lint_paths(targets, baseline=baseline)
+    if output_format == "json":
+        print(json.dumps(report.to_dict(), sort_keys=True, indent=2),
+              file=out)
+    else:
+        print(report.render(), file=out)
+    return 0 if report.clean else 1
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST determinism sanitizer over repro source "
+                    "trees (same gate CI runs)")
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: the "
+                             "installed repro package)")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="suppression baseline JSON (default: the "
+                             "packaged analysis/baseline.json)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report every hit, baselined or not")
+    parser.add_argument("--format", choices=["text", "json"],
+                        default="text", dest="output_format")
+    parser.add_argument("--rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+    return run_lint(paths=args.paths, baseline_path=args.baseline,
+                    no_baseline=args.no_baseline,
+                    output_format=args.output_format,
+                    list_rules=args.rules)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

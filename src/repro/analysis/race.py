@@ -1,0 +1,342 @@
+"""Simulated-resource race detector.
+
+The simulator's concurrency is *simulated* — DES processes, sweep
+cells, delegated syscalls — so the host's thread sanitizers see
+nothing.  :class:`RaceDetector` is a lockdep-style checker over the
+simulation's own shared resources (IKC rings, memcg charge accounting,
+scheduler runqueues, the run cache), fed by hooks threaded through the
+components exactly like the :mod:`repro.obs` tracer hooks: each hook
+reads the ambient detector (:func:`get_race_detector`) and bails on
+``None``, so a run without a detector installed pays one global read
+per operation and allocates nothing.
+
+Checks, per resource class:
+
+* **ownership** — :meth:`acquire`/:meth:`release` track exclusive
+  holders; conflicting acquisition, releasing an unheld resource, and
+  writes under another actor's hold are violations.  Acquisition
+  order feeds a lockdep graph; a cycle is a ``lock-order-inversion``.
+* **epoch writes** — :meth:`write` with ``exclusive=True`` binds the
+  resource to its first writer; any later write by a different actor
+  without holding it is an unordered ``cross-owner-write`` (two
+  simulated CPUs mutating one runqueue).
+* **lost updates** — :meth:`rmw_begin`/:meth:`rmw_commit` bracket
+  read-modify-write sections (cgroup charge accounting); a commit
+  whose observed epoch is stale proves an interleaved writer whose
+  update would be silently overwritten.
+* **IKC FIFO** — :meth:`ikc_post`/:meth:`ikc_deliver` assert each
+  channel's exactly-once, in-order contract: double delivery,
+  delivery of a never-posted sequence, and send/recv inversions.
+* **cache coherence** — :meth:`cache_put` requires every write of one
+  content key to carry the same payload digest; divergence means two
+  "identical" cells computed different results — the exact
+  determinism regression this subsystem exists to catch.
+
+Everything the detector records and reports is derived from simulated
+operations in program order, so a seeded run produces a byte-identical
+report every time (at fixed ``--jobs``; worker processes run with the
+parent's detector absent, which is why ``repro analyze race`` drives
+the sweep serially).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = [
+    "RaceViolation", "RaceDetector", "get_race_detector", "detecting",
+]
+
+
+@dataclass(frozen=True)
+class RaceViolation:
+    """One detected ordering/ownership/coherence violation."""
+
+    kind: str
+    resource: str
+    actor: str
+    detail: str
+    epoch: int
+
+    def render(self) -> str:
+        actor = f" actor={self.actor}" if self.actor else ""
+        return (f"[{self.kind}] {self.resource}{actor} "
+                f"@e{self.epoch}: {self.detail}")
+
+
+class RaceDetector:
+    """Tracks simulated-resource operations and collects violations."""
+
+    def __init__(self) -> None:
+        self.epoch = 0
+        self.violations: list[RaceViolation] = []
+        #: resource -> holding actor (exclusive holds only).
+        self._held: dict[str, str] = {}
+        #: actor -> stack of resources currently held.
+        self._hold_stack: dict[str, list[str]] = {}
+        #: lockdep graph: resource -> resources acquired while held.
+        self._order_edges: dict[str, set[str]] = {}
+        #: resource -> (epoch, actor) of the last write.
+        self._last_write: dict[str, tuple[int, str]] = {}
+        #: exclusive resources -> actor bound by first write.
+        self._bound: dict[str, str] = {}
+        self._ikc_posted: dict[str, set[int]] = {}
+        self._ikc_delivered: dict[str, set[int]] = {}
+        self._ikc_last_delivered: dict[str, int] = {}
+        self._cache_digests: dict[str, str] = {}
+        #: object identity -> (label, strong ref); the ref pins the
+        #: object so a recycled allocation address can never alias two
+        #: distinct resources.  id() here is an in-process identity
+        #: key only — it never reaches the report.
+        self._labels: dict[int, tuple[str, object]] = {}
+        self._label_counts: dict[str, int] = {}
+        self._event_counts: dict[str, int] = {}
+
+    # -- identity ------------------------------------------------------
+
+    def resource_for(self, obj: object, kind: str) -> str:
+        """Deterministic label for a component instance: ``kind#N``
+        with N assigned in first-observation order (which is itself
+        deterministic in a seeded run)."""
+        entry = self._labels.get(id(obj))
+        if entry is not None:
+            return entry[0]
+        n = self._label_counts.get(kind, 0)
+        self._label_counts[kind] = n + 1
+        label = f"{kind}#{n}"
+        self._labels[id(obj)] = (label, obj)
+        return label
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _tick(self, resource: str) -> int:
+        self.epoch += 1
+        self._event_counts[resource] = \
+            self._event_counts.get(resource, 0) + 1
+        return self.epoch
+
+    def _flag(self, kind: str, resource: str, actor: str,
+              detail: str) -> None:
+        self.violations.append(RaceViolation(
+            kind=kind, resource=resource, actor=actor,
+            detail=detail, epoch=self.epoch))
+
+    @property
+    def events(self) -> int:
+        return sum(self._event_counts.values())
+
+    # -- ownership / lockdep -------------------------------------------
+
+    def acquire(self, resource: str, actor: str) -> None:
+        self._tick(resource)
+        holder = self._held.get(resource)
+        if holder == actor:
+            self._flag("double-acquire", resource, actor,
+                       "actor already holds this resource")
+        elif holder is not None:
+            self._flag("conflicting-acquire", resource, actor,
+                       f"held by {holder}; simulated actors never "
+                       "block, so this acquisition cannot be exclusive")
+        # Lockdep: an edge held -> resource for everything the actor
+        # already holds; a pre-existing reverse path is an inversion.
+        for held in self._hold_stack.get(actor, []):
+            if held != resource and self._reachable(resource, held):
+                self._flag("lock-order-inversion", resource, actor,
+                           f"acquired after {held}, but {held} has "
+                           f"been acquired after {resource} elsewhere")
+            self._order_edges.setdefault(held, set()).add(resource)
+        self._held[resource] = actor
+        self._hold_stack.setdefault(actor, []).append(resource)
+
+    def release(self, resource: str, actor: str) -> None:
+        self._tick(resource)
+        if self._held.get(resource) != actor:
+            self._flag("release-unheld", resource, actor,
+                       "released a resource this actor does not hold")
+            return
+        del self._held[resource]
+        stack = self._hold_stack.get(actor, [])
+        if resource in stack:
+            stack.remove(resource)
+
+    def _reachable(self, src: str, dst: str) -> bool:
+        seen = set()
+        frontier = [src]
+        while frontier:
+            node = frontier.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(sorted(self._order_edges.get(node, ())))
+        return False
+
+    # -- shared-state writes -------------------------------------------
+
+    def write(self, resource: str, actor: str,
+              exclusive: bool = False) -> None:
+        epoch = self._tick(resource)
+        holder = self._held.get(resource)
+        if holder is not None and holder != actor:
+            self._flag("write-while-held", resource, actor,
+                       f"written while exclusively held by {holder}")
+        if exclusive:
+            bound = self._bound.setdefault(resource, actor)
+            if bound != actor and holder != actor:
+                self._flag("cross-owner-write", resource, actor,
+                           f"resource is owned by {bound}; writing "
+                           "without acquiring it is an unordered "
+                           "cross-CPU update")
+        self._last_write[resource] = (epoch, actor)
+
+    def read(self, resource: str, actor: str = "") -> int:
+        """Record a read; returns the epoch of the last write seen
+        (0 when the resource was never written)."""
+        self._tick(resource)
+        return self._last_write.get(resource, (0, ""))[0]
+
+    # -- read-modify-write sections ------------------------------------
+
+    def rmw_begin(self, resource: str, actor: str = "") -> int:
+        """Open an RMW section; the returned token captures the write
+        epoch the section's read observed."""
+        return self.read(resource, actor)
+
+    def rmw_commit(self, resource: str, actor: str = "",
+                   token: int = 0) -> None:
+        epoch = self._tick(resource)
+        last_epoch, last_actor = self._last_write.get(resource, (0, ""))
+        if last_epoch != token:
+            self._flag("lost-update", resource, actor,
+                       f"commit based on epoch {token} but "
+                       f"{last_actor or 'another actor'} wrote at "
+                       f"epoch {last_epoch}; that update would be "
+                       "silently overwritten")
+        self._last_write[resource] = (epoch, actor)
+
+    # -- IKC channels --------------------------------------------------
+
+    def ikc_post(self, resource: str, seq: int) -> None:
+        self._tick(resource)
+        posted = self._ikc_posted.setdefault(resource, set())
+        if seq in posted:
+            self._flag("ikc-duplicate-post", resource, "",
+                       f"sequence {seq} posted twice")
+        posted.add(seq)
+
+    def ikc_deliver(self, resource: str, seq: int) -> None:
+        self._tick(resource)
+        delivered = self._ikc_delivered.setdefault(resource, set())
+        if seq not in self._ikc_posted.get(resource, ()):
+            self._flag("ikc-phantom-delivery", resource, "",
+                       f"sequence {seq} delivered but never posted")
+        if seq in delivered:
+            self._flag("ikc-double-delivery", resource, "",
+                       f"sequence {seq} delivered twice (duplicated "
+                       "doorbell / re-posted ring slot)")
+        else:
+            last = self._ikc_last_delivered.get(resource)
+            if last is not None and seq < last:
+                self._flag("ikc-inversion", resource, "",
+                           f"sequence {seq} delivered after {last}; "
+                           "the ring is FIFO")
+            self._ikc_last_delivered[resource] = max(
+                seq, last if last is not None else seq)
+        delivered.add(seq)
+
+    # -- run cache -----------------------------------------------------
+
+    def cache_read(self, resource: str, key: str) -> None:
+        self._tick(resource)
+
+    def cache_put(self, resource: str, key: str, digest: str) -> None:
+        self._tick(resource)
+        prior = self._cache_digests.get(key)
+        if prior is not None and prior != digest:
+            self._flag("cache-divergent-write", resource, "",
+                       f"key {key[:16]}... written with digest "
+                       f"{digest[:12]} after {prior[:12]}; identical "
+                       "cells must produce identical results")
+        self._cache_digests[key] = digest
+
+    # -- reporting -----------------------------------------------------
+
+    def resource_counts(self) -> dict[str, int]:
+        return {name: self._event_counts[name]
+                for name in sorted(self._event_counts)}
+
+    def unreleased(self) -> list[tuple[str, str]]:
+        """(resource, actor) pairs still held at the end of a run —
+        reported informationally (a run may legitimately end mid-hold
+        only if the component never completes, which the clean
+        experiments never do)."""
+        return sorted(self._held.items())
+
+    def to_dict(self) -> dict:
+        return {
+            "events": self.events,
+            "resources": self.resource_counts(),
+            "violations": [vars(v) for v in self.violations],
+            "unreleased": [list(pair) for pair in self.unreleased()],
+        }
+
+    def to_json(self) -> str:
+        """Canonical report JSON (sorted keys, fixed separators) —
+        byte-identical across repeat runs of the same seed."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def report(self) -> str:
+        lines = [
+            f"race report: {len(self.violations)} violation(s), "
+            f"{self.events} event(s) over "
+            f"{len(self._event_counts)} resource(s)"
+        ]
+        counts = self.resource_counts()
+        if counts:
+            lines.append("resources:")
+            for name, count in counts.items():
+                lines.append(f"  {name:<28} {count} event(s)")
+        if self.violations:
+            lines.append("violations:")
+            for violation in self.violations:
+                lines.append("  " + violation.render())
+        for resource, actor in self.unreleased():
+            lines.append(f"note: {resource} still held by {actor} "
+                         "at end of run")
+        return "\n".join(lines)
+
+
+#: The ambient detector; ``None`` disables every hook.
+_DETECTOR: Optional[RaceDetector] = None
+
+
+def get_race_detector() -> Optional[RaceDetector]:
+    """The installed detector, or ``None`` when detection is off.
+
+    Hook call sites mirror the tracer's shape — ``rd =
+    get_race_detector()`` / ``if rd is not None: ...`` — so a run
+    without a detector costs one module-global read per operation.
+    """
+    return _DETECTOR
+
+
+@contextmanager
+def detecting(detector: Optional[RaceDetector] = None
+              ) -> Iterator[RaceDetector]:
+    """Install ``detector`` (a fresh one by default) for the block;
+    the previous ambient state is restored on exit, so nested analysis
+    scopes never leak."""
+    global _DETECTOR
+    if detector is None:
+        detector = RaceDetector()
+    previous = _DETECTOR
+    _DETECTOR = detector
+    try:
+        yield detector
+    finally:
+        _DETECTOR = previous

@@ -1,0 +1,125 @@
+"""One-command race analysis: ``repro analyze race <experiment>``.
+
+:func:`analyze_races` runs a registered experiment under an ambient
+:class:`~repro.analysis.race.RaceDetector` — prefixed, like traced
+runs, with the :func:`repro.obs.runtrace.capture_node_slice` slice of
+simulated node life so the detector always observes real IKC rings,
+memcg charge accounting, scheduler runqueues and run-cache writes
+even behind purely analytic experiments.
+
+The sweep executes serially (``jobs=1``) with a fresh in-memory run
+cache: worker processes cannot ship detector state back to the
+parent, and the memory cache tier is exactly what exposes divergent
+same-key writes.  Everything is seeded, so the resulting report is
+byte-identical across repeat runs — the property the CI race-smoke
+step asserts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.runtrace import capture_node_slice
+from ..obs.tracer import Tracer, tracing
+from .race import RaceDetector, detecting
+
+__all__ = ["RaceRun", "analyze_races"]
+
+
+@dataclass
+class RaceRun:
+    """One experiment's result together with its race report."""
+
+    experiment_id: str
+    seed: int
+    fast: bool
+    result: object               # the ExperimentResult
+    detector: RaceDetector
+
+    @property
+    def clean(self) -> bool:
+        return not self.detector.violations
+
+    def report(self) -> str:
+        head = (f"{self.experiment_id} (seed {self.seed}, "
+                f"{'fast' if self.fast else 'full'}): ")
+        return head + "\n" + self.detector.report()
+
+    def write(self, path: str) -> str:
+        """Write the canonical JSON race report (CI artifact)."""
+        p = pathlib.Path(path)
+        p.write_text(self.detector.to_json() + "\n", encoding="utf-8")
+        return str(p)
+
+
+def _exercise_kernel_resources() -> None:
+    """Drive the hooked kernel components the node slice does not reach
+    directly — CFS and cooperative runqueues, memcg charge accounting
+    (including a rejected over-limit charge and the hugetlb-surplus
+    path) — so every ``repro analyze race`` run observes all four
+    resource classes.  Fully deterministic: no RNG, fixed inputs."""
+    from ..errors import CgroupLimitExceeded
+    from ..kernel.cgroup import MemoryController
+    from ..kernel.scheduler import (
+        CfsScheduler,
+        CooperativeScheduler,
+        SchedTask,
+    )
+
+    cfs = CfsScheduler(cpu_id=0, nohz_full=True)
+    cfs.enqueue(SchedTask(task_id=1, name="app", weight=2.0))
+    cfs.enqueue(SchedTask(task_id=2, name="daemon"))
+    cfs.run_slice(horizon=0.1)
+    cfs.dequeue(2)
+    cfs.dequeue(1)
+
+    lwk = CooperativeScheduler(cpu_id=1)
+    lwk.enqueue(SchedTask(task_id=3, name="rank0"))
+    lwk.enqueue(SchedTask(task_id=4, name="rank1"))
+    lwk.account(0.01)
+    lwk.yield_cpu()
+    lwk.account(0.01)
+    lwk.dequeue(4)
+    lwk.dequeue(3)
+
+    memcg = MemoryController(limit_bytes=1 << 20,
+                             charge_surplus_hugetlb=True)
+    memcg.charge(1 << 16)
+    memcg.charge(1 << 12, surplus_hugetlb=True)
+    try:
+        memcg.charge(1 << 21)
+    except CgroupLimitExceeded:
+        pass
+    memcg.uncharge(1 << 12, surplus_hugetlb=True)
+    memcg.uncharge(1 << 16)
+
+
+def analyze_races(experiment_id: str, fast: bool = True, seed: int = 0,
+                  node_slice: bool = True,
+                  detector: RaceDetector | None = None) -> RaceRun:
+    """Run one registered experiment with race detection on.
+
+    A throwaway tracer is installed alongside the detector purely so
+    the node slice (which is tracer-gated) executes; its events are
+    discarded.  The run uses a fresh memory-only run cache so cache
+    coherence is checked without touching the user's disk tier.
+    """
+    from ..experiments.registry import run_experiment
+    from ..perf.cache import RunCache
+    from ..perf.context import perf_context
+
+    if detector is None:
+        detector = RaceDetector()
+    metrics = MetricsRegistry()
+    with detecting(detector):
+        with tracing(Tracer()):
+            with perf_context(jobs=1, cache=RunCache(), counters=metrics):
+                if node_slice:
+                    _exercise_kernel_resources()
+                    capture_node_slice(seed)
+                result = run_experiment(experiment_id, fast=fast,
+                                        seed=seed)
+    return RaceRun(experiment_id=experiment_id, seed=seed, fast=fast,
+                   result=result, detector=detector)

@@ -321,6 +321,29 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.analyze_cmd == "lint":
+        from .analysis.linter import run_lint
+
+        return run_lint(
+            args.paths or None,
+            baseline_path=args.baseline,
+            no_baseline=args.no_baseline,
+            output_format="json" if args.json else "text",
+            list_rules=args.list_rules,
+        )
+
+    # analyze race
+    from .analysis.runrace import analyze_races
+
+    run = analyze_races(args.id, fast=not args.full, seed=args.seed,
+                        node_slice=not args.no_node_slice)
+    print(run.report())
+    if args.out:
+        print(f"race report -> {run.write(args.out)}")
+    return 0 if run.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -437,6 +460,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument("--no-cache", action="store_true")
     p_metrics.add_argument("--cache-dir", metavar="DIR")
 
+    p_ana = sub.add_parser(
+        "analyze", help="determinism lint and simulated-race detection")
+    ana_sub = p_ana.add_subparsers(dest="analyze_cmd", required=True)
+    p_lint = ana_sub.add_parser(
+        "lint", help="run the determinism sanitizer (DET001..DET010)")
+    p_lint.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: the "
+                             "installed repro package)")
+    p_lint.add_argument("--baseline", metavar="FILE",
+                        help="suppression baseline JSON (default: the "
+                             "checked-in analysis/baseline.json)")
+    p_lint.add_argument("--no-baseline", action="store_true",
+                        help="report every finding, suppressing nothing")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable report on stdout")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    p_race = ana_sub.add_parser(
+        "race", help="run one experiment under the race detector")
+    p_race.add_argument("id", help="experiment id (see list)")
+    p_race.add_argument("--full", action="store_true")
+    p_race.add_argument("--seed", type=int, default=0)
+    p_race.add_argument("--out", metavar="FILE",
+                        help="also write the canonical JSON race report")
+    p_race.add_argument("--no-node-slice", action="store_true",
+                        help="skip the synthetic node slice; observe "
+                             "only what the experiment itself exercises")
+
     p_fwq = sub.add_parser("fwq", help="run the FWQ noise benchmark")
     p_fwq.add_argument("--platform", choices=["fugaku", "ofp"],
                        default="fugaku")
@@ -463,6 +514,7 @@ def main(argv: list[str] | None = None) -> int:
         "cache": _cmd_cache,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
+        "analyze": _cmd_analyze,
     }[args.command]
     return handler(args)
 

@@ -38,8 +38,14 @@ TRACE_FORMAT_VERSION = 1
 _SECONDS_TO_US = 1e6
 
 
-def _canon_json(obj: object) -> str:
+def canonical_json(obj: object) -> str:
+    """Canonical serialization — sorted keys, fixed separators — the
+    one byte form every exporter, cache digest and race report shares.
+    Public so other subsystems hash exactly what the exporters emit."""
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+_canon_json = canonical_json
 
 
 def _us(seconds: float) -> float:

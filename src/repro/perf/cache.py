@@ -28,6 +28,7 @@ the whole disk tier applying the same check.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import logging
 import os
@@ -35,6 +36,7 @@ import pathlib
 import tempfile
 from typing import TYPE_CHECKING, Optional
 
+from ..analysis.race import get_race_detector
 from ..errors import CacheCorruptionError, ConfigurationError
 
 logger = logging.getLogger(__name__)
@@ -163,6 +165,9 @@ class RunCache:
         A present-but-corrupt disk entry (``json.JSONDecodeError``,
         missing/ill-typed fields, truncated file) is quarantined and
         reported as a miss — the sweep recomputes and overwrites."""
+        rd = get_race_detector()
+        if rd is not None:
+            rd.cache_read(rd.resource_for(self, "runcache"), key)
         result = self._memory.get(key)
         if result is not None:
             return result
@@ -191,6 +196,13 @@ class RunCache:
         self-describing — the JSON that hashed to ``key`` is written
         next to the result, so cache identity is auditable with a text
         editor."""
+        rd = get_race_detector()
+        if rd is not None:
+            digest = hashlib.sha256(
+                json.dumps(result_to_dict(result), sort_keys=True,
+                           separators=(",", ":")).encode()
+            ).hexdigest()
+            rd.cache_put(rd.resource_for(self, "runcache"), key, digest)
         self._memory[key] = result
         if self.directory is None:
             return
@@ -218,7 +230,7 @@ class RunCache:
         """Distinct entries reachable from this cache instance."""
         keys = set(self._memory)
         if self.directory is not None:
-            keys.update(p.stem for p in self.directory.glob("*.json"))
+            keys.update(p.stem for p in sorted(self.directory.glob("*.json")))
         return len(keys)
 
     # -- maintenance --------------------------------------------------
@@ -228,7 +240,7 @@ class RunCache:
         removed = len(self)
         self._memory.clear()
         if self.directory is not None:
-            for path in self.directory.glob("*.json"):
+            for path in sorted(self.directory.glob("*.json")):
                 try:
                     path.unlink()
                 except OSError:

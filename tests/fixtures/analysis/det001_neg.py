@@ -1,0 +1,6 @@
+"""DET001 negative: timestamps come from the simulated clock."""
+
+
+def stamp_event(event, engine):
+    event["ts"] = engine.now
+    return event

@@ -1,0 +1,7 @@
+"""DET001 positive: wall-clock read in simulation code."""
+import time
+
+
+def stamp_event(event):
+    event["ts"] = time.time()
+    return event

@@ -1,0 +1,8 @@
+"""DET002 negative: explicit seeded generator threaded through."""
+import numpy as np
+
+
+def jitter(values, seed):
+    rng = np.random.default_rng(seed)
+    permuted = list(rng.permutation(values))
+    return permuted[0] + rng.random()

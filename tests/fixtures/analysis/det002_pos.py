@@ -1,0 +1,9 @@
+"""DET002 positive: process-global RNG state."""
+import random
+
+import numpy as np
+
+
+def jitter(values):
+    random.shuffle(values)
+    return values[0] + np.random.rand()

@@ -1,0 +1,16 @@
+"""DET003 negative: every enumeration is sorted (or order-free)."""
+import os
+
+
+def first_entry(directory):
+    for name in sorted(os.listdir(directory)):
+        return name
+    return None
+
+
+def cache_files(root):
+    return [p.stem for p in sorted(root.glob("*.json"))]
+
+
+def count_files(root):
+    return len(list(root.glob("*.json")))

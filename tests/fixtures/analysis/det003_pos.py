@@ -1,0 +1,12 @@
+"""DET003 positive: filesystem enumerated in OS-dependent order."""
+import os
+
+
+def first_entry(directory):
+    for name in os.listdir(directory):
+        return name
+    return None
+
+
+def cache_files(root):
+    return [p.stem for p in root.glob("*.json")]

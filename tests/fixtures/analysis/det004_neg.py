@@ -1,0 +1,12 @@
+"""DET004 negative: sorted before anything consumes the order."""
+
+
+def tags_line(tags):
+    return ",".join(sorted({t.lower() for t in tags}))
+
+
+def export_rows(table):
+    rows = []
+    for key in sorted(table):
+        rows.append(f"{key}={table[key]}")
+    return rows

@@ -1,0 +1,12 @@
+"""DET004 positive: set iteration, and a dict view in a sink scope."""
+
+
+def tags_line(tags):
+    return ",".join({t.lower() for t in tags})
+
+
+def export_rows(table):
+    rows = []
+    for key in table.keys():
+        rows.append(f"{key}={table[key]}")
+    return rows

@@ -1,0 +1,13 @@
+"""DET005 negative: allocate per call."""
+
+
+def accumulate(x, seen=None):
+    seen = [] if seen is None else seen
+    seen.append(x)
+    return seen
+
+
+def tally(key, counts=None):
+    counts = {} if counts is None else counts
+    counts[key] = counts.get(key, 0) + 1
+    return counts

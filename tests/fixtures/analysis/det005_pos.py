@@ -1,0 +1,11 @@
+"""DET005 positive: mutable defaults shared across calls."""
+
+
+def accumulate(x, seen=[]):
+    seen.append(x)
+    return seen
+
+
+def tally(key, counts={}):
+    counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,8 @@
+"""DET006 negative: futures drained in submission order."""
+
+
+def harvest(futures):
+    total = 0.0
+    for fut in futures:
+        total += fut.result()
+    return total

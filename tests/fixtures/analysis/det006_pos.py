@@ -1,0 +1,13 @@
+"""DET006 positive: results harvested in completion order."""
+from concurrent.futures import as_completed
+
+
+def harvest(futures):
+    total = 0.0
+    for fut in as_completed(futures):
+        total += fut.result()
+    return total
+
+
+def pool_harvest(pool, work):
+    return [r for r in pool.imap_unordered(len, work)]

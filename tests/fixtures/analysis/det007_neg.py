@@ -1,0 +1,20 @@
+"""DET007 negative: to_dict covers every field."""
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class Spec:
+    alpha: int
+    beta: int
+
+    def to_dict(self):
+        return {"alpha": self.alpha, "beta": self.beta}
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    gamma: int
+    delta: int
+
+    def to_dict(self):
+        return {f.name: getattr(self, f.name) for f in fields(self)}

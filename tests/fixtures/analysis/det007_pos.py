@@ -1,0 +1,11 @@
+"""DET007 positive: frozen dataclass field missing from to_dict."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Spec:
+    alpha: int
+    beta: int
+
+    def to_dict(self):
+        return {"alpha": self.alpha}

@@ -1,0 +1,6 @@
+"""DET008 negative: rooted in the library hierarchy."""
+from repro.errors import ConfigurationError
+
+
+class BadSpecError(ConfigurationError):
+    pass

@@ -1,0 +1,5 @@
+"""DET008 positive: exception bypassing the repro.errors hierarchy."""
+
+
+class BadSpecError(ValueError):
+    pass

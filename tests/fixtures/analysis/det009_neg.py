@@ -1,0 +1,6 @@
+"""DET009 negative: content-derived identity."""
+import hashlib
+
+
+def content_key(spec_json):
+    return hashlib.sha256(spec_json.encode()).hexdigest()

@@ -1,0 +1,9 @@
+"""DET009 positive: process-salted identities."""
+
+
+def content_key(spec):
+    return hash(spec)
+
+
+def label_for(obj):
+    return f"obj-{id(obj)}"

@@ -1,0 +1,8 @@
+"""DET010 negative: canonical dump feeds the digest."""
+import hashlib
+import json
+
+
+def fingerprint(payload):
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,7 @@
+"""DET010 positive: digest over an order-dependent dump."""
+import hashlib
+import json
+
+
+def fingerprint(payload):
+    return hashlib.sha256(json.dumps(payload).encode()).hexdigest()

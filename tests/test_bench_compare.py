@@ -81,3 +81,17 @@ def test_missing_file_is_usage_error(tmp_path):
     cur = _write(tmp_path / "cur.json", {"a": 1.0})
     with pytest.raises(SystemExit):
         bench_compare.main([str(tmp_path / "nope.json"), cur])
+
+
+def test_json_out_report(tmp_path):
+    base = _write(tmp_path / "base.json", {"a": 1.0, "b": 2.0})
+    cur = _write(tmp_path / "cur.json", {"a": 1.5, "b": 2.0})
+    report = tmp_path / "report.json"
+    assert bench_compare.main(
+        [base, cur, "--json-out", str(report)]) == 1
+    payload = json.loads(report.read_text())
+    assert payload["failed"] is True
+    by_name = {r["name"]: r for r in payload["results"]}
+    assert by_name["a"]["verdict"] == "REGRESSION"
+    assert by_name["b"]["verdict"] == "ok"
+    assert by_name["a"]["delta"] == 0.5

@@ -47,17 +47,18 @@ def load_means(path: pathlib.Path) -> dict[str, float]:
 
 
 def compare(baseline: dict[str, float], current: dict[str, float],
-            threshold: float) -> tuple[list[str], bool]:
-    """Per-benchmark report lines and whether any regression exceeds
+            threshold: float) -> tuple[list[dict], bool]:
+    """Per-benchmark comparison rows and whether any regression exceeds
     ``threshold`` (relative slowdown, e.g. 0.2 = 20%)."""
-    lines = []
+    rows = []
     failed = False
     for name in sorted(set(baseline) | set(current)):
         if name not in current:
-            lines.append(f"  {name:<40} removed (baseline only)")
+            rows.append({"name": name, "verdict": "removed"})
             continue
         if name not in baseline:
-            lines.append(f"  {name:<40} new (no baseline)")
+            rows.append({"name": name, "verdict": "new",
+                         "current": current[name]})
             continue
         old, new = baseline[name], current[name]
         delta = (new - old) / old if old > 0 else 0.0
@@ -65,9 +66,24 @@ def compare(baseline: dict[str, float], current: dict[str, float],
         if delta > threshold:
             verdict = "REGRESSION"
             failed = True
-        lines.append(f"  {name:<40} {old:.6f}s -> {new:.6f}s "
-                     f"({delta:+.1%}) {verdict}")
-    return lines, failed
+        rows.append({"name": name, "verdict": verdict, "baseline": old,
+                     "current": new, "delta": round(delta, 6)})
+    return rows, failed
+
+
+def render_rows(rows: list[dict]) -> list[str]:
+    lines = []
+    for row in rows:
+        name, verdict = row["name"], row["verdict"]
+        if verdict == "removed":
+            lines.append(f"  {name:<40} removed (baseline only)")
+        elif verdict == "new":
+            lines.append(f"  {name:<40} new (no baseline)")
+        else:
+            lines.append(
+                f"  {name:<40} {row['baseline']:.6f}s -> "
+                f"{row['current']:.6f}s ({row['delta']:+.1%}) {verdict}")
+    return lines
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -79,16 +95,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="max tolerated relative slowdown "
                              "(default 0.20 = 20%%)")
+    parser.add_argument("--json-out", type=pathlib.Path, metavar="FILE",
+                        help="also write the comparison as JSON (the "
+                             "CI gate uploads this as an artifact)")
     args = parser.parse_args(argv)
     if args.threshold < 0:
         parser.error("threshold must be non-negative")
 
-    lines, failed = compare(load_means(args.baseline),
-                            load_means(args.current), args.threshold)
+    rows, failed = compare(load_means(args.baseline),
+                           load_means(args.current), args.threshold)
     print(f"benchmark comparison ({args.baseline} -> {args.current}, "
           f"threshold {args.threshold:.0%}):")
-    for line in lines:
+    for line in render_rows(rows):
         print(line)
+    if args.json_out:
+        args.json_out.write_text(json.dumps({
+            "baseline": str(args.baseline),
+            "current": str(args.current),
+            "threshold": args.threshold,
+            "failed": failed,
+            "results": rows,
+        }, sort_keys=True, indent=2) + "\n")
     if failed:
         print("FAIL: at least one benchmark regressed past the threshold")
         return 1

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.perf",
     "repro.obs",
+    "repro.analysis",
 ]
 
 # Hand-written prose appended after the generated tables, so a
