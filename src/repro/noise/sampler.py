@@ -25,6 +25,9 @@ import numpy as np
 from ..errors import ConfigurationError
 from .source import NoiseSource, Occurrence
 
+#: Shared zero-length placeholder for trials a source never hit.
+_EMPTY = np.empty(0)
+
 
 def fwq_iteration_lengths(
     sources: Sequence[NoiseSource],
@@ -160,6 +163,57 @@ class BarrierDelaySampler:
         for p, s in zip(self._probs, self.sources):
             counts = rng.binomial(self.n_threads, p, n_intervals)
             delays += s.duration.sample_max(rng, counts)
+        return delays
+
+    def sample_batch(
+        self, n_intervals: int, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Delays for many independent trials at once: row ``t`` of the
+        returned ``(len(rngs), n_intervals)`` array is bit-identical to
+        ``self.sample(n_intervals, rngs[t])``.
+
+        Each trial's generator is consumed in exactly the order
+        :meth:`sample` would consume it (per source: one binomial draw,
+        then one uniform draw — skipped when no thread is hit), so the
+        per-trial RNG streams are untouched.  What *is* batched is the
+        expensive part: the inverse-CDF evaluation of the
+        order-statistic maxima, which is elementwise and therefore
+        bit-stable under concatenation, runs once per source over all
+        trials instead of once per (source, trial).
+        """
+        if n_intervals <= 0:
+            raise ConfigurationError("n_intervals must be positive")
+        n_trials = len(rngs)
+        if n_trials == 0:
+            return np.zeros((0, n_intervals), dtype=float)
+        delays = np.zeros((n_trials, n_intervals), dtype=float)
+        for p, s in zip(self._probs, self.sources):
+            masks: list[np.ndarray] = []
+            us: list[np.ndarray] = []
+            hits: list[np.ndarray] = []
+            for rng in rngs:
+                counts = rng.binomial(self.n_threads, p, n_intervals)
+                pos = counts > 0
+                n_pos = int(pos.sum())
+                if n_pos:  # sample_max draws uniforms only when hit
+                    us.append(rng.uniform(0.0, 1.0, n_pos))
+                    hits.append(counts[pos])
+                else:
+                    us.append(_EMPTY)
+                masks.append(pos)
+            if not hits:
+                continue
+            # u ** (1 / counts) and the inverse CDF are elementwise, so
+            # one fused evaluation over all trials is bit-identical to
+            # the per-trial calls sample() makes.
+            flat_q = np.concatenate(us) ** (1.0 / np.concatenate(hits))
+            values = s.duration.quantile(flat_q)
+            offset = 0
+            for t, pos in enumerate(masks):
+                n_pos = len(us[t])
+                if n_pos:
+                    delays[t, pos] += values[offset:offset + n_pos]
+                    offset += n_pos
         return delays
 
     def mean_delay(self, n_intervals: int, rng: np.random.Generator) -> float:

@@ -70,17 +70,18 @@ def find_periodic_noise(
     floor = max(float(np.median(power)), peak_power * 1e-9)
     peaks: list[SpectralPeak] = []
     suppressed = np.zeros(len(power), dtype=bool)
-    for idx in range(len(power)):  # ascending frequency
+    # Candidate bins above threshold, ascending in frequency — the only
+    # bins the historical full scan could ever stop at (everything else
+    # fails the ratio test), so walking just these is bit-identical.
+    candidates = np.flatnonzero(power >= threshold * floor)
+    for idx in candidates:
         if len(peaks) >= max_peaks:
             break
         if suppressed[idx]:
             continue
-        ratio = power[idx] / floor
-        if ratio < threshold:
-            continue
         # Refine to the strongest bin in the local leakage neighbourhood.
-        lo = max(0, idx - 2)
-        hi = min(len(power), idx + 3)
+        lo = max(0, int(idx) - 2)
+        hi = min(len(power), int(idx) + 3)
         best = lo + int(np.argmax(power[lo:hi]))
         fundamental = freqs[best]
         peaks.append(SpectralPeak(
@@ -88,10 +89,31 @@ def find_periodic_noise(
             period_s=float(1.0 / fundamental),
             power_ratio=float(power[best] / floor),
         ))
-        # Suppress the whole harmonic comb of this fundamental.
-        k = 1
-        while k * fundamental <= freqs[-1] + 1e-12:
-            h = int(np.argmin(np.abs(freqs - k * fundamental)))
-            suppressed[max(0, h - 2):h + 3] = True
-            k += 1
+        _suppress_comb(suppressed, freqs, float(fundamental))
     return peaks
+
+
+def _suppress_comb(suppressed: np.ndarray, freqs: np.ndarray,
+                   fundamental: float) -> None:
+    """Mark ±2 bins around every harmonic of ``fundamental``.
+
+    Vectorized over all harmonics at once: for each multiple
+    ``k * fundamental`` the nearest bin is located with searchsorted
+    (freqs ascend), with the historical argmin tie-break — equal
+    distances resolve to the lower bin.
+    """
+    n = len(freqs)
+    ks = np.arange(1.0, np.floor((freqs[-1] + 1e-12) / fundamental) + 1.0)
+    if len(ks) == 0:
+        return
+    targets = ks * fundamental
+    right = np.searchsorted(freqs, targets)
+    left = np.maximum(right - 1, 0)
+    right = np.minimum(right, n - 1)
+    # np.argmin(|freqs - t|) returns the first minimal index, so a tie
+    # between the two neighbours goes to the left one (<=, not <).
+    nearest = np.where(
+        np.abs(freqs[left] - targets) <= np.abs(freqs[right] - targets),
+        left, right)
+    for off in range(-2, 3):
+        suppressed[np.clip(nearest + off, 0, n - 1)] = True

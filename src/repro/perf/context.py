@@ -45,6 +45,14 @@ class PerfContext:
     cell_timeout: Optional[float] = None
     #: Pool dispatch attempts before the executor degrades to serial.
     max_retries: int = 2
+    #: Variance-adaptive Monte-Carlo stopping: keep drawing trial
+    #: batches for a sweep cell until the 95% CI half-width of its mean
+    #: wall time falls below ``target_ci`` (a fraction of the mean).
+    #: None (the default) keeps the fixed trial count and is
+    #: byte-identical to every release before the knob existed.
+    target_ci: Optional[float] = None
+    #: Hard trial ceiling per cell when ``target_ci`` is active.
+    max_adaptive_runs: int = 64
     _pool: Optional["ProcessPoolExecutor"] = field(
         default=None, repr=False, compare=False)
     _pool_broken: bool = field(default=False, repr=False, compare=False)
@@ -92,11 +100,15 @@ def perf_context(
     counters: Optional["MetricsRegistry"] = None,
     cell_timeout: Optional[float] = None,
     max_retries: int = 2,
+    target_ci: Optional[float] = None,
+    max_adaptive_runs: int = 64,
 ) -> Iterator[PerfContext]:
     """Install a :class:`PerfContext` for the duration of the block."""
     ctx = PerfContext(jobs=max(1, int(jobs)), cache=cache, counters=counters,
                       cell_timeout=cell_timeout,
-                      max_retries=max(0, int(max_retries)))
+                      max_retries=max(0, int(max_retries)),
+                      target_ci=target_ci,
+                      max_adaptive_runs=max(1, int(max_adaptive_runs)))
     _STACK.append(ctx)
     try:
         yield ctx

@@ -56,6 +56,15 @@ class RunCell:
     then the SHA-256 of the spec's canonical JSON (auditable from the
     on-disk entry).  Raw-object cells fall back to the recursive
     object-walk fingerprint.
+
+    ``target_ci`` switches the cell to variance-adaptive Monte-Carlo
+    sampling (:meth:`AppRunner.run_adaptive`); it travels in the cell
+    (not the ambient context) because worker processes never see the
+    parent's :class:`PerfContext`.  The knob folds into the cache key
+    only when active, so default-config keys — and every cache entry
+    written before the knob existed — are untouched (mirroring how
+    ``FaultSpec`` composes into the canonical spec JSON only when
+    faults are enabled).
     """
 
     machine: "Machine"
@@ -65,13 +74,37 @@ class RunCell:
     n_runs: int
     seed: int
     spec: Optional["RunSpec"] = None
+    target_ci: Optional[float] = None
+    max_adaptive_runs: int = 64
 
     def key(self, memo: dict | None = None) -> str:
         """Content address of this cell (the cache key)."""
         if self.spec is not None:
-            return spec_key(self.spec)
-        return run_key(self.machine, self.profile, self.os_instance,
-                       self.n_nodes, self.n_runs, self.seed, memo=memo)
+            base = spec_key(self.spec)
+        else:
+            base = run_key(self.machine, self.profile, self.os_instance,
+                           self.n_nodes, self.n_runs, self.seed, memo=memo)
+        if self.target_ci is None:
+            return base
+        import hashlib
+
+        payload = (f"{base}|target_ci:{self.target_ci!r}"
+                   f"|max_adaptive_runs:{int(self.max_adaptive_runs)}")
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def adaptive_fields() -> dict:
+    """The ambient context's adaptive-stopping knobs as RunCell kwargs.
+
+    Sweep builders call this in the parent process, where the installed
+    :class:`PerfContext` is visible, and bake the values into each cell
+    so worker processes honour them.
+    """
+    ctx = get_context()
+    if ctx.target_ci is None:
+        return {}
+    return {"target_ci": ctx.target_ci,
+            "max_adaptive_runs": ctx.max_adaptive_runs}
 
 
 def _execute_cell(cell: RunCell) -> "RunResult":
@@ -79,6 +112,11 @@ def _execute_cell(cell: RunCell) -> "RunResult":
     from ..runtime.runner import AppRunner
 
     runner = AppRunner(cell.machine, cell.profile, seed=cell.seed)
+    if cell.target_ci is not None:
+        return runner.run_adaptive(cell.os_instance, cell.n_nodes,
+                                   n_runs=cell.n_runs,
+                                   target_ci=cell.target_ci,
+                                   max_runs=cell.max_adaptive_runs)
     return runner.run(cell.os_instance, cell.n_nodes, n_runs=cell.n_runs)
 
 

@@ -57,19 +57,39 @@ class NoisyCore:
         self.stolen_total = float(self._durs.sum())
         self._cursor = 0  # monotone consumption (threads move forward)
 
+    #: Events charged per vectorized chunk; most windows hit only a few
+    #: events, so chunks keep the common case to one small accumulate.
+    _CHUNK = 64
+
     def work_duration(self, t: float, work: float) -> float:
         """Wall time to complete ``work`` seconds of compute from ``t``."""
         if work < 0:
             raise ConfigurationError("work must be non-negative")
+        starts, durs = self._starts, self._durs
+        n = len(starts)
         # Rewind is illegal: callers advance monotonically per core.
-        while (self._cursor < len(self._starts)
-               and self._starts[self._cursor] < t):
-            self._cursor += 1
-        wall_end = t + work
         i = self._cursor
-        while i < len(self._starts) and self._starts[i] < wall_end:
-            wall_end += self._durs[i]
-            i += 1
+        if i < n and starts[i] < t:
+            i += int(np.searchsorted(starts[i:], t, side="left"))
+        wall_end = t + work
+        # Charge events in chunks.  np.add.accumulate is strictly
+        # left-to-right (unlike pairwise np.sum), so seeding it with
+        # wall_end reproduces the historical one-event-at-a-time float
+        # additions bit for bit: acc[k] is wall_end after charging the
+        # first k chunk events, and event k is charged iff it starts
+        # before acc[k].
+        while i < n and starts[i] < wall_end:
+            j = min(n, i + self._CHUNK)
+            acc = np.add.accumulate(
+                np.concatenate(([wall_end], durs[i:j])))
+            stop = starts[i:j] >= acc[:-1]
+            if stop.any():
+                k = int(np.argmax(stop))
+                wall_end = float(acc[k])
+                i += k
+                break
+            wall_end = float(acc[-1])
+            i = j
         self._cursor = i
         return wall_end - t
 

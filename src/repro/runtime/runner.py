@@ -61,6 +61,49 @@ class Breakdown:
                 + self.noise + self.init)
 
 
+#: Two-sided 97.5% Student-t critical values for small degrees of
+#: freedom — the scipy-free fallback for :func:`t_critical` (values from
+#: the standard t table; beyond the table the normal 1.959964 limit is
+#: close to the true value to < 0.2%).
+_T_TABLE = {
+    1: 12.7062, 2: 4.3027, 3: 3.1824, 4: 2.7764, 5: 2.5706,
+    6: 2.4469, 7: 2.3646, 8: 2.3060, 9: 2.2622, 10: 2.2281,
+    11: 2.2010, 12: 2.1788, 13: 2.1604, 14: 2.1448, 15: 2.1314,
+    16: 2.1199, 17: 2.1098, 18: 2.1009, 19: 2.0930, 20: 2.0860,
+    21: 2.0796, 22: 2.0739, 23: 2.0687, 24: 2.0639, 25: 2.0595,
+    26: 2.0555, 27: 2.0518, 28: 2.0484, 29: 2.0452, 30: 2.0423,
+}
+_T_NORMAL_LIMIT = 1.959964
+
+#: Memo of ``t.ppf(0.975, df)`` keyed by ``df`` — ci95 sits on the
+#: sweep hot path and must not re-enter scipy's ppf machinery (or even
+#: the lazy ``from scipy import stats``) for every result.
+_T_CRIT_MEMO: dict[int, float] = {}
+
+
+def t_critical(df: int) -> float:
+    """``t.ppf(0.975, df)``, memoized per ``df``.
+
+    scipy stays an optional import: when it is unavailable the
+    hard-coded small-df table (exact to 4 decimals up to df=30, then
+    the normal limit) takes over, so confidence intervals never pull a
+    hard scipy dependency into the runtime path.
+    """
+    if df <= 0:
+        raise ConfigurationError("df must be positive")
+    hit = _T_CRIT_MEMO.get(df)
+    if hit is not None:
+        return hit
+    try:
+        from scipy import stats
+    except ImportError:
+        value = _T_TABLE.get(df, _T_NORMAL_LIMIT)
+    else:
+        value = float(stats.t.ppf(0.975, df))
+    _T_CRIT_MEMO[df] = value
+    return value
+
+
 @dataclass(frozen=True)
 class RunResult:
     """Outcome of running one profile on one OS at one node count."""
@@ -89,11 +132,14 @@ class RunResult:
         n = len(self.times)
         if n < 2:
             return (self.mean_time, self.mean_time)
-        from scipy import stats
-
         sem = float(np.std(self.times, ddof=1)) / np.sqrt(n)
-        half = float(stats.t.ppf(0.975, n - 1)) * sem
+        half = t_critical(n - 1) * sem
         return (self.mean_time - half, self.mean_time + half)
+
+    def ci95_half_width(self) -> float:
+        """Half-width of :meth:`ci95` (0.0 for a single run)."""
+        lo, hi = self.ci95()
+        return 0.5 * (hi - lo)
 
 
 def _churn_page_kind(os_instance: OsInstance) -> tuple[int, PageKind]:
@@ -169,10 +215,14 @@ class AppRunner:
         return model.cost(self.profile.collective,
                           self.profile.msg_bytes_at(n_nodes))
 
-    def _noise_delay_per_interval(
+    def _noise_sampler(
         self, os_instance: OsInstance, n_nodes: int, n_threads: int,
-        rng: np.random.Generator,
-    ) -> float:
+    ) -> BarrierDelaySampler | None:
+        """The cell's barrier-delay sampler, or None when noiseless.
+
+        Depends only on (OS, n_nodes, n_threads) — never on the trial
+        index — so one sampler serves every trial of a run batch.
+        """
         sources = list(noise_sources(os_instance))
         # App-induced THP compaction stalls (the scale-growing half of
         # the LULESH heap effect).
@@ -184,12 +234,20 @@ class AppRunner:
         ):
             sources.append(churn_compaction_source(churn))
         if not sources:
-            return 0.0
-        sampler = BarrierDelaySampler(
+            return None
+        return BarrierDelaySampler(
             sources,
             sync_interval=self.profile.sync_interval_at(n_nodes),
             n_threads=n_threads,
         )
+
+    def _noise_delay_per_interval(
+        self, os_instance: OsInstance, n_nodes: int, n_threads: int,
+        rng: np.random.Generator,
+    ) -> float:
+        sampler = self._noise_sampler(os_instance, n_nodes, n_threads)
+        if sampler is None:
+            return 0.0
         n_sample = min(self.profile.iterations, 512)
         return float(sampler.sample(n_sample, rng).mean())
 
@@ -213,21 +271,14 @@ class AppRunner:
 
     # -- the run -------------------------------------------------------------
 
-    def run(self, os_instance: OsInstance, n_nodes: int,
-            n_runs: int = 3) -> RunResult:
-        """Execute the profile ``n_runs`` times; per-run noise and
-        variability draws differ, producing the error bars of Figs. 5-7."""
-        if n_nodes <= 0 or n_nodes > self.machine.n_nodes:
-            raise ConfigurationError(
-                f"n_nodes must be in 1..{self.machine.n_nodes}"
-            )
-        if n_runs <= 0:
-            raise ConfigurationError("n_runs must be positive")
+    def _component_times(self, os_instance: OsInstance, n_nodes: int):
+        """(tlb, churn, collective, per_iter_static, init, n_intervals,
+        n_threads): every per-interval component model evaluated exactly
+        once; the sum feeds the per-interval cost and the same values
+        price the Breakdown."""
         p = self.profile
         geo = p.geometry_for(self.machine.name)
         n_threads = n_nodes * geo.threads_per_node
-        # Evaluate each component model exactly once; the sum feeds the
-        # per-interval cost and the same values price the Breakdown.
         tlb_time = self._tlb_time_per_interval(os_instance, n_nodes)
         churn_time = self._churn_time_per_interval(os_instance, n_nodes,
                                                    geo.threads_per_rank)
@@ -238,32 +289,65 @@ class AppRunner:
         )
         init = self._init_time(os_instance, n_nodes)
         n_intervals = p.iterations * p.steps
+        return (tlb_time, churn_time, collective_time, per_iter_static,
+                init, n_intervals, n_threads)
 
+    def _trial_batch(
+        self, os_instance: OsInstance, n_nodes: int, n_threads: int,
+        run_indices: range,
+        sampler: BarrierDelaySampler | None,
+        per_iter_static: float, init: float, n_intervals: int,
+        batch_trials: bool,
+    ) -> tuple[list[float], list[float]]:
+        """(wall times, per-interval noise means) for one batch of
+        trials, bit-identical for either value of ``batch_trials``.
+
+        Every trial derives its RNG streams purely from its own
+        ``run_idx``, so batches compose: trials ``0..k`` drawn as one
+        batch equal trials ``0..k`` drawn as several.
+        """
+        p = self.profile
+        os_tag = fnv1a_64(f"{p.name}/{os_instance.kind}")
+        rngs = [
+            np.random.default_rng((self.seed, run_idx, n_nodes, os_tag))
+            for run_idx in run_indices
+        ]
+        if sampler is None:
+            noise_means = [0.0] * len(rngs)
+        elif batch_trials:
+            # One vectorized draw for the whole batch: the per-trial
+            # generators are consumed exactly as the serial loop would,
+            # but the order-statistic inverse-CDF evaluation runs once
+            # per source instead of once per (source, trial).
+            rows = sampler.sample_batch(min(p.iterations, 512), rngs)
+            noise_means = [float(row.mean()) for row in rows]
+        else:
+            n_sample = min(p.iterations, 512)
+            noise_means = [float(sampler.sample(n_sample, rng).mean())
+                           for rng in rngs]
         times = []
-        noise_means = []
-        for run_idx in range(n_runs):
-            rng = np.random.default_rng(
-                (self.seed, run_idx, n_nodes,
-                 fnv1a_64(f"{self.profile.name}/{os_instance.kind}"))
-            )
-            noise = self._noise_delay_per_interval(
-                os_instance, n_nodes, n_threads, rng
-            )
-            noise_means.append(noise)
+        common_tag = fnv1a_64(p.name)
+        for rng, run_idx, noise in zip(rngs, run_indices, noise_means):
             base = init + n_intervals * (per_iter_static + noise)
             # Run-to-run variability has two parts: the node assignment
             # (shared between the two OSes — the paper used "the exact
             # same compute nodes" for each pair, so it cancels in the
             # ratio) and an OS-private residual.
             rng_common = np.random.default_rng(
-                (self.seed, run_idx, n_nodes, fnv1a_64(self.profile.name))
-            )
+                (self.seed, run_idx, n_nodes, common_tag))
             jitter = float(
                 np.exp(0.8 * p.variability * rng_common.standard_normal())
                 * np.exp(0.36 * p.variability * rng.standard_normal())
             )
             times.append(base * jitter)
+        return times, noise_means
 
+    def _result(self, os_instance: OsInstance, n_nodes: int,
+                n_threads: int, times: list[float],
+                noise_means: list[float], tlb_time: float,
+                churn_time: float, collective_time: float, init: float,
+                n_intervals: int) -> RunResult:
+        p = self.profile
         mean_noise = float(np.mean(noise_means))
         breakdown = Breakdown(
             compute=n_intervals * p.sync_interval_at(n_nodes),
@@ -282,6 +366,79 @@ class AppRunner:
             times=tuple(times),
             breakdown=breakdown,
         )
+
+    def _check_run_args(self, n_nodes: int, n_runs: int) -> None:
+        if n_nodes <= 0 or n_nodes > self.machine.n_nodes:
+            raise ConfigurationError(
+                f"n_nodes must be in 1..{self.machine.n_nodes}"
+            )
+        if n_runs <= 0:
+            raise ConfigurationError("n_runs must be positive")
+
+    def run(self, os_instance: OsInstance, n_nodes: int,
+            n_runs: int = 3, batch_trials: bool = True) -> RunResult:
+        """Execute the profile ``n_runs`` times; per-run noise and
+        variability draws differ, producing the error bars of Figs. 5-7.
+
+        ``batch_trials=False`` forces the historical per-trial sampling
+        loop; the result is bit-identical either way (asserted in
+        tests and measured by the ``sweep_multitrial`` benchmarks).
+        """
+        self._check_run_args(n_nodes, n_runs)
+        (tlb_time, churn_time, collective_time, per_iter_static, init,
+         n_intervals, n_threads) = self._component_times(os_instance, n_nodes)
+        sampler = self._noise_sampler(os_instance, n_nodes, n_threads)
+        times, noise_means = self._trial_batch(
+            os_instance, n_nodes, n_threads, range(n_runs), sampler,
+            per_iter_static, init, n_intervals, batch_trials)
+        return self._result(os_instance, n_nodes, n_threads, times,
+                            noise_means, tlb_time, churn_time,
+                            collective_time, init, n_intervals)
+
+    def run_adaptive(self, os_instance: OsInstance, n_nodes: int,
+                     n_runs: int = 3, target_ci: float = 0.05,
+                     max_runs: int = 64) -> RunResult:
+        """Monte-Carlo cell with variance-adaptive early stopping.
+
+        Trials are drawn in batches of ``n_runs`` until the Student-t
+        95% CI half-width of the mean wall time falls to ``target_ci``
+        (as a fraction of the mean) or ``max_runs`` trials have been
+        drawn.  The stopping decision depends only on this cell's own
+        RNG streams (trial ``k`` is always derived from coordinate
+        ``k``), so results are bit-identical across ``--jobs`` and
+        across cell execution order.
+        """
+        self._check_run_args(n_nodes, n_runs)
+        if target_ci <= 0:
+            raise ConfigurationError("target_ci must be positive")
+        if max_runs < n_runs:
+            raise ConfigurationError("max_runs must be >= n_runs")
+        (tlb_time, churn_time, collective_time, per_iter_static, init,
+         n_intervals, n_threads) = self._component_times(os_instance, n_nodes)
+        sampler = self._noise_sampler(os_instance, n_nodes, n_threads)
+        times: list[float] = []
+        noise_means: list[float] = []
+        while True:
+            start = len(times)
+            batch = min(n_runs, max_runs - start)
+            t, nm = self._trial_batch(
+                os_instance, n_nodes, n_threads,
+                range(start, start + batch), sampler,
+                per_iter_static, init, n_intervals, batch_trials=True)
+            times.extend(t)
+            noise_means.extend(nm)
+            n = len(times)
+            if n >= max_runs:
+                break
+            if n >= 2:
+                mean = float(np.mean(times))
+                sem = float(np.std(times, ddof=1)) / np.sqrt(n)
+                half = t_critical(n - 1) * sem
+                if half <= target_ci * abs(mean):
+                    break
+        return self._result(os_instance, n_nodes, n_threads, times,
+                            noise_means, tlb_time, churn_time,
+                            collective_time, init, n_intervals)
 
 
 @dataclass(frozen=True)
@@ -327,12 +484,15 @@ def compare(
     :func:`repro.perf.perf_context`), with results bit-identical to
     the serial path.
     """
-    from ..perf.executor import RunCell, execute_cells
+    from ..perf.executor import RunCell, adaptive_fields, execute_cells
 
+    adaptive = adaptive_fields()
     cells = []
     for n in node_counts:
-        cells.append(RunCell(machine, profile, linux, n, n_runs, seed))
-        cells.append(RunCell(machine, profile, mckernel, n, n_runs, seed))
+        cells.append(RunCell(machine, profile, linux, n, n_runs, seed,
+                             **adaptive))
+        cells.append(RunCell(machine, profile, mckernel, n, n_runs, seed,
+                             **adaptive))
     results = execute_cells(cells, jobs=jobs, cache=cache)
     return [
         Comparison(n_nodes=n, linux=results[2 * i],

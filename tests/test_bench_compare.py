@@ -95,3 +95,100 @@ def test_json_out_report(tmp_path):
     assert by_name["a"]["verdict"] == "REGRESSION"
     assert by_name["b"]["verdict"] == "ok"
     assert by_name["a"]["delta"] == 0.5
+
+
+# --- speed budgets -------------------------------------------------------
+
+
+def test_budget_max_regression_pct(tmp_path):
+    base = _write(tmp_path / "base.json", {"a": 1.0})
+    cur_ok = _write(tmp_path / "ok.json", {"a": 1.4})
+    cur_bad = _write(tmp_path / "bad.json", {"a": 1.6})
+    budget = _write(tmp_path / "budget.json",
+                    {"a": {"max_regression_pct": 50}})
+    # Raise the generic threshold out of the way: only the budget gates.
+    common = ["--threshold", "10", "--budget", budget]
+    assert bench_compare.main([base, cur_ok, *common]) == 0
+    assert bench_compare.main([base, cur_bad, *common]) == 1
+
+
+def test_budget_min_speedup_vs_baseline_entry(tmp_path, capsys):
+    base = _write(tmp_path / "base.json", {"a": 1.0})
+    cur = _write(tmp_path / "cur.json", {"a": 0.4})
+    budget = _write(tmp_path / "budget.json",
+                    {"a": {"min_speedup": 2.0}})
+    assert bench_compare.main([base, cur, "--budget", budget]) == 0
+    assert "2.50x baseline" in capsys.readouterr().out
+    slow = _write(tmp_path / "slow.json", {"a": 0.6})
+    assert bench_compare.main(
+        [base, slow, "--threshold", "10", "--budget", budget]) == 1
+
+
+def test_budget_same_run_ratio_rule(tmp_path):
+    """`vs` compares two entries of the *current* file — the
+    machine-independent gate."""
+    base = _write(tmp_path / "base.json", {})
+    cur = _write(tmp_path / "cur.json", {"fast": 1.0, "slow": 2.5})
+    budget = _write(tmp_path / "budget.json",
+                    {"fast": {"min_speedup": 2.0, "vs": "slow"}})
+    assert bench_compare.main([base, cur, "--budget", budget]) == 0
+    budget_hard = _write(tmp_path / "hard.json",
+                         {"fast": {"min_speedup": 3.0, "vs": "slow"}})
+    assert bench_compare.main([base, cur, "--budget", budget_hard]) == 1
+
+
+def test_budget_vs_baseline_other_name(tmp_path, capsys):
+    """`vs_baseline` proves a new execution mode against a committed
+    measurement recorded under a different name."""
+    base = _write(tmp_path / "base.json", {"sweep_fixed": 1.0})
+    cur = _write(tmp_path / "cur.json",
+                 {"sweep_fixed": 0.8, "sweep_adaptive": 0.2})
+    budget = _write(tmp_path / "budget.json", {
+        "sweep_adaptive": [
+            {"min_speedup": 2.0, "vs_baseline": "sweep_fixed"},
+            {"min_speedup": 3.0, "vs": "sweep_fixed"},
+        ],
+    })
+    assert bench_compare.main([base, cur, "--budget", budget]) == 0
+    out = capsys.readouterr().out
+    assert "5.00x baseline[sweep_fixed]" in out
+    assert "4.00x current[sweep_fixed]" in out
+
+
+def test_budget_missing_benchmark_fails(tmp_path, capsys):
+    base = _write(tmp_path / "base.json", {})
+    cur = _write(tmp_path / "cur.json", {"other": 1.0})
+    budget = _write(tmp_path / "budget.json",
+                    {"gone": {"min_speedup": 1.0}})
+    assert bench_compare.main([base, cur, "--budget", budget]) == 1
+    assert "missing from current" in capsys.readouterr().out
+
+
+def test_budget_rejects_malformed_rules(tmp_path):
+    base = _write(tmp_path / "base.json", {"a": 1.0})
+    cur = _write(tmp_path / "cur.json", {"a": 1.0})
+    for bad in (
+        {"a": {"min_speedup": 2.0, "vs": "b", "vs_baseline": "c"}},
+        {"a": {"vs": "b"}},
+        {"a": {"typo_key": 1}},
+        {"a": {}},
+        {"a": []},
+        {"a": 3},
+    ):
+        budget = _write(tmp_path / "bad_budget.json", bad)
+        with pytest.raises(SystemExit):
+            bench_compare.main([base, cur, "--budget", budget])
+
+
+def test_budget_results_land_in_json_report(tmp_path):
+    base = _write(tmp_path / "base.json", {"a": 1.0})
+    cur = _write(tmp_path / "cur.json", {"a": 0.5})
+    budget = _write(tmp_path / "budget.json",
+                    {"a": {"min_speedup": 2.0}})
+    report = tmp_path / "report.json"
+    assert bench_compare.main(
+        [base, cur, "--budget", budget,
+         "--json-out", str(report)]) == 0
+    payload = json.loads(report.read_text())
+    assert payload["budget_results"][0]["verdict"] == "ok"
+    assert payload["budget_results"][0]["speedup"] == 2.0

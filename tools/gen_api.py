@@ -84,12 +84,24 @@ CLI equivalents: `repro experiments fig5 --jobs 0 --stats`
 `--cache-dir DIR` to steer the cache) and
 `repro cache info|clear|verify`.
 
+Below the executor, the Monte-Carlo hot paths are vectorized —
+batched trial sampling in `AppRunner`, fused order-statistic draws in
+`BarrierDelaySampler.sample_batch`, chunked event charging in the DES
+`NoisyCore` — under a strict rule: every vectorization is bit-identical
+to the loop it replaced.  `perf_context(target_ci=...)` additionally
+enables variance-adaptive early stopping of Monte-Carlo cells (off by
+default; deterministic across `--jobs`).  See `docs/PERFORMANCE.md`
+for the bit-identity rules, the adaptive-stopping knob, and the speed
+budget.
+
 Guarantee: for every experiment id, parallel and cached runs render
 byte-identical output to a serial, uncached run
 (`tests/test_perf_executor.py`, `tests/test_perf_cache.py`).  The
 opt-in `pytest -m perfsmoke` demo times the figure-regeneration loop
 and asserts the combined speedup; `tools/bench_compare.py` diffs two
-benchmark timing files and fails on >20% regressions.
+benchmark timing files, fails on >20% regressions, and with
+`--budget benchmarks/budgets.json` enforces the committed speed
+budget (CI's `perf` job runs exactly this).
 
 ## Fault injection & tolerance (`repro.faults`)
 
