@@ -36,19 +36,24 @@ from . import (
     runtime,
     sim,
 )
+from .engine import EngineOptions, ExecutionEngine
 from .errors import (
     CacheCorruptionError,
     CgroupLimitExceeded,
+    ClaimConflict,
     ConfigurationError,
     FaultError,
     IkcTimeoutError,
+    JobNotFoundError,
     JobRetriesExhausted,
+    JournalCorruptionError,
     NodeFailure,
     OutOfMemoryError,
     PartitionError,
     ProxyCrashed,
     ReproError,
     ResourceError,
+    ServiceError,
     SimulationError,
     SyscallError,
 )
@@ -86,7 +91,9 @@ def quick_compare(app: str, platform: str = "fugaku", nodes: int = 1024,
     }
     name = aliases.get(platform.lower(), platform)
     if name not in platform_names():
-        raise ConfigurationError(f"unknown platform {platform!r}")
+        raise ConfigurationError(
+            f"unknown platform {platform!r}; known: {platform_names()} "
+            f"(aliases: {sorted(aliases)})")
     return compare_platforms(get_platform(name), app, [nodes],
                              n_runs=n_runs, seed=seed)[0]
 
@@ -105,6 +112,8 @@ __all__ = [
     "runtime",
     "sim",
     "quick_compare",
+    "ExecutionEngine",
+    "EngineOptions",
     "ReproError",
     "ConfigurationError",
     "ResourceError",
@@ -119,5 +128,9 @@ __all__ = [
     "IkcTimeoutError",
     "JobRetriesExhausted",
     "CacheCorruptionError",
+    "ServiceError",
+    "JobNotFoundError",
+    "ClaimConflict",
+    "JournalCorruptionError",
     "__version__",
 ]

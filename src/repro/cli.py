@@ -10,10 +10,14 @@
     python -m repro run my_platform.json --app LQCD --nodes 2048
     python -m repro compare LQCD --platform fugaku --nodes 2048
     python -m repro fwq --platform fugaku --os mckernel --duration 60
-    python -m repro cache info|clear|verify
+    python -m repro cache info|clear|verify|gc
     python -m repro trace run table2 --out trace.json [--jsonl ev.jsonl]
     python -m repro trace summarize ev.jsonl --top 10
     python -m repro metrics table2 fig5
+    python -m repro submit RUN.json | --experiment fig5
+    python -m repro serve --drain [--workers N]
+    python -m repro status [JOB]
+    python -m repro fetch JOB [--out DIR]
 
 The CLI is a thin shell over the library; anything it prints can be
 obtained programmatically from :mod:`repro.experiments`,
@@ -27,6 +31,12 @@ Experiment runs fan their sweeps out over ``--jobs`` worker processes
 cache (``$REPRO_CACHE_DIR`` or ``~/.cache/repro-runs``; disable with
 ``--no-cache``), so regenerating a figure is parallel the first time
 and a cache replay afterwards — byte-identical output either way.
+
+Every execution path — one-shot and service alike — runs through the
+shared :class:`repro.engine.ExecutionEngine`, so ``repro submit`` +
+``repro serve`` produce artifacts byte-identical to ``repro
+experiment``/``repro export`` for any worker count (see
+``docs/SERVICE.md``).
 
 ``trace run`` re-runs an experiment with the :mod:`repro.obs` tracer
 installed and writes a Chrome/Perfetto ``trace.json`` (open it at
@@ -92,11 +102,10 @@ def _load_spec_file(path: str):
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
+    from .engine import ExecutionEngine
     from .errors import ConfigurationError
-    from .experiments import run_experiment
     from .obs.metrics import MetricsRegistry
     from .obs.tracer import tracing
-    from .perf.context import perf_context
     from .platform import PlatformSpec
 
     platform = None
@@ -108,14 +117,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 "run spec (drop the 'platform'/'app' nesting)")
     jobs = _auto_jobs() if args.jobs == 0 else args.jobs
     counters = MetricsRegistry()
+    engine = ExecutionEngine.from_options(jobs=jobs,
+                                          cache=_make_cache(args),
+                                          counters=counters)
     trace_path = getattr(args, "trace", None)
     scope = tracing() if trace_path else nullcontext(None)
-    with scope as tracer, \
-            perf_context(jobs=jobs, cache=_make_cache(args),
-                         counters=counters):
+    with scope as tracer, engine.session():
         for eid in args.ids:
-            result = run_experiment(eid, fast=not args.full, seed=args.seed,
-                                    platform=platform)
+            result = engine.run_experiment(eid, fast=not args.full,
+                                           seed=args.seed,
+                                           platform=platform)
             print(result.render())
             if result.paper_reference:
                 print(f"[paper reference: {result.paper_reference}]")
@@ -165,8 +176,9 @@ def _cmd_platform(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .engine import ExecutionEngine
     from .errors import ConfigurationError
-    from .platform import PlatformSpec, RunSpec, run_cells
+    from .platform import PlatformSpec, RunSpec
 
     spec = _load_spec_file(args.spec)
     if isinstance(spec, PlatformSpec):
@@ -179,7 +191,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     elif args.app:
         raise ConfigurationError(
             f"{args.spec} is already a run spec; --app conflicts")
-    result = run_cells([spec], cache=_make_cache(args))[0]
+    engine = ExecutionEngine.from_options(cache=_make_cache(args))
+    result = engine.run_spec(spec)
     print(f"{result.app} on {result.machine} / {result.os_kind}, "
           f"{result.n_nodes} nodes ({result.n_threads} HW threads):")
     print(f"  mean time : {result.mean_time:9.3f} s "
@@ -197,6 +210,13 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "clear":
         removed = cache.clear()
         print(f"cleared {removed} cached run(s) from {cache.directory}")
+    elif args.action == "gc":
+        report = cache.gc(max_age_days=args.max_age_days,
+                          max_bytes=args.max_bytes)
+        print(f"gc in {cache.directory}: removed {report['removed']} of "
+              f"{report['checked']} disk entr(ies), reclaimed "
+              f"{report['reclaimed_bytes']} bytes "
+              f"({report['kept']} kept; quarantine untouched)")
     elif args.action == "verify":
         report = cache.verify()
         print(f"checked {report['checked']} disk entr(ies) in "
@@ -265,10 +285,12 @@ def _cmd_fwq(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    from .experiments.export import export_all
+    from .engine import ExecutionEngine
 
-    written = export_all(args.directory, ids=args.ids or None,
-                         fast=not args.full, seed=args.seed)
+    engine = ExecutionEngine()
+    written = engine.export_experiments(args.directory,
+                                        ids=args.ids or None,
+                                        fast=not args.full, seed=args.seed)
     for eid, paths in written.items():
         print(f"{eid}:")
         for p in paths:
@@ -306,18 +328,117 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
-    from .experiments import run_experiment
+    from .engine import ExecutionEngine
     from .obs.export import prometheus_text
     from .obs.metrics import MetricsRegistry
-    from .perf.context import perf_context
 
     jobs = _auto_jobs() if args.jobs == 0 else args.jobs
     metrics = MetricsRegistry()
-    with perf_context(jobs=jobs, cache=_make_cache(args), counters=metrics):
+    engine = ExecutionEngine.from_options(jobs=jobs,
+                                          cache=_make_cache(args),
+                                          counters=metrics)
+    with engine.session():
         for eid in args.ids:
-            run_experiment(eid, fast=not args.full, seed=args.seed)
+            engine.run_experiment(eid, fast=not args.full, seed=args.seed)
             metrics.counter("experiments_run", experiment=eid).inc()
     sys.stdout.write(prometheus_text(metrics))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    summary = serve(directory=args.dir, workers=args.workers,
+                    drain=args.drain, poll_interval=args.poll,
+                    lease_ticks=args.lease_ticks,
+                    max_retries=args.max_retries, backoff=args.backoff,
+                    max_polls=args.max_polls)
+    if "worker" in summary:
+        print(f"worker {summary['worker']}: {summary['executed']} job(s) "
+              f"executed, {summary['failed']} failed, "
+              f"{summary['leases_broken']} lease(s) broken, "
+              f"{summary['discarded']} attempt(s) discarded")
+    else:
+        print(f"fleet of {summary['workers']} worker(s) finished "
+              f"(exit codes: {summary['worker_exit_codes']})")
+    return summary["exit_code"]
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .errors import ConfigurationError
+    from .service import JobQueue, JobSpec, load_jobspec
+
+    if bool(args.spec) == bool(args.experiment):
+        raise ConfigurationError(
+            "submit takes exactly one of: a SPEC.json file, or "
+            "--experiment ID")
+    if args.experiment:
+        jobspec = JobSpec.for_experiment(args.experiment,
+                                         fast=not args.full,
+                                         seed=args.seed)
+    else:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read spec {args.spec!r}: {exc}")
+        jobspec = load_jobspec(text)
+    queue = JobQueue(args.dir)
+    # Bare id on stdout so scripts can do JOB=$(repro submit ...).
+    print(queue.submit(jobspec))
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from .service import JobQueue, JobState
+
+    queue = JobQueue(args.dir)
+    if args.job:
+        view = queue.job(args.job)
+        for key, value in sorted(view.to_dict().items()):
+            print(f"{key:<10} {value}")
+        claim = queue.read_claim(args.job)
+        if claim:
+            print(f"{'claim':<10} worker={claim.get('worker', '?')} "
+                  f"attempt={claim.get('attempt', '?')} "
+                  f"heartbeat={claim.get('heartbeat', '?')}")
+        if view.state is JobState.DONE:
+            print(f"{'artifacts':<10} "
+                  f"{len(queue.result_files(args.job))} file(s) in "
+                  f"{queue.result_dir(args.job)}")
+        return 1 if view.state is JobState.FAILED else 0
+    table = queue.table()
+    if not table:
+        print(f"no jobs under {queue.root}")
+        return 0
+    print(f"{'job':<20} {'state':<9} {'attempts':<9} {'kind':<11} worker")
+    for job_id in sorted(table):
+        view = table[job_id]
+        print(f"{view.job_id:<20} {view.state.value:<9} "
+              f"{view.attempts:<9} {view.kind:<11} {view.worker}")
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    import pathlib
+    import shutil
+
+    from .service import JobQueue
+
+    queue = JobQueue(args.dir)
+    files = queue.result_files(args.job)
+    if not args.out:
+        for path in files:
+            print(path)
+        return 0
+    base = queue.result_dir(args.job)
+    outdir = pathlib.Path(args.out)
+    for path in files:
+        dest = outdir / path.relative_to(base)
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(path, dest)
+        print(dest)
     return 0
 
 
@@ -398,11 +519,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "$REPRO_CACHE_DIR or ~/.cache/repro-runs)")
 
     p_cache = sub.add_parser(
-        "cache", help="inspect, clear or verify the run cache")
-    p_cache.add_argument("action", choices=["info", "clear", "verify"])
+        "cache", help="inspect, clear, verify or garbage-collect the "
+                      "run cache")
+    p_cache.add_argument("action", choices=["info", "clear", "verify",
+                                            "gc"])
     p_cache.add_argument("--cache-dir", metavar="DIR",
                          help="run cache directory (default: "
                               "$REPRO_CACHE_DIR or ~/.cache/repro-runs)")
+    p_cache.add_argument("--max-age-days", type=float, metavar="DAYS",
+                         help="gc: prune disk entries older than DAYS")
+    p_cache.add_argument("--max-bytes", type=int, metavar="N",
+                         help="gc: prune oldest entries until the disk "
+                              "tier fits N bytes")
 
     p_cmp = sub.add_parser("compare", help="Linux vs McKernel for one app")
     p_cmp.add_argument("app")
@@ -488,6 +616,59 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the synthetic node slice; observe "
                              "only what the experiment itself exercises")
 
+    service_dir_help = ("service directory (default: $REPRO_SERVICE_DIR "
+                        "or ~/.local/state/repro-service)")
+    p_serve = sub.add_parser(
+        "serve", help="run a job-queue worker (or worker fleet)")
+    p_serve.add_argument("--dir", metavar="DIR", help=service_dir_help)
+    p_serve.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="worker processes (N > 1 spawns a fleet "
+                              "of OS processes; default 1, in-process)")
+    p_serve.add_argument("--drain", action="store_true",
+                         help="exit once every job is terminal instead "
+                              "of serving forever")
+    p_serve.add_argument("--poll", type=float, default=0.1, metavar="S",
+                         help="idle poll interval, seconds (default 0.1)")
+    p_serve.add_argument("--lease-ticks", type=int, default=50,
+                         metavar="K",
+                         help="break a lease after its heartbeat stalls "
+                              "for K of this worker's polls (default 50)")
+    p_serve.add_argument("--max-retries", type=int, default=3, metavar="N",
+                         help="attempts per job beyond the first "
+                              "(default 3)")
+    p_serve.add_argument("--backoff", type=float, default=0.0,
+                         metavar="S",
+                         help="base backoff before re-running a failed "
+                              "attempt, seconds (default 0)")
+    p_serve.add_argument("--max-polls", type=int, default=None,
+                         help=argparse.SUPPRESS)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a run/sweep/experiment job to the queue")
+    p_submit.add_argument("spec", nargs="?",
+                          help="RunSpec/JobSpec JSON file (or a JSON "
+                               "list of RunSpecs for a sweep)")
+    p_submit.add_argument("--experiment", metavar="ID",
+                          help="submit a registered experiment instead "
+                               "of a spec file")
+    p_submit.add_argument("--full", action="store_true",
+                          help="experiment jobs: paper-scale layout")
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--dir", metavar="DIR", help=service_dir_help)
+
+    p_status = sub.add_parser(
+        "status", help="show the job table, or one job's state")
+    p_status.add_argument("job", nargs="?", help="job id (default: all)")
+    p_status.add_argument("--dir", metavar="DIR", help=service_dir_help)
+
+    p_fetch = sub.add_parser(
+        "fetch", help="list or copy a finished job's artifacts")
+    p_fetch.add_argument("job", help="job id")
+    p_fetch.add_argument("--out", metavar="DIR",
+                         help="copy artifacts here (default: just list "
+                              "their paths)")
+    p_fetch.add_argument("--dir", metavar="DIR", help=service_dir_help)
+
     p_fwq = sub.add_parser("fwq", help="run the FWQ noise benchmark")
     p_fwq.add_argument("--platform", choices=["fugaku", "ofp"],
                        default="fugaku")
@@ -515,8 +696,19 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
         "analyze": _cmd_analyze,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "fetch": _cmd_fetch,
     }[args.command]
-    return handler(args)
+    from .errors import ReproError
+
+    try:
+        return handler(args)
+    except ReproError as exc:
+        # Library failures are user-facing diagnostics, not tracebacks.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,204 @@
+"""The one execution core: how a spec becomes a result.
+
+Before this module the submit → execute → harvest → export path was
+split across three layers: :mod:`repro.cli` hand-wired
+``jobs``/``cache``/``counters`` into a :func:`repro.perf.perf_context`,
+:mod:`repro.experiments.registry` re-implemented the same wrapping per
+call, and the sweep helpers drove :mod:`repro.perf.executor` directly.
+:class:`ExecutionEngine` is the single re-rooting point: the one-shot
+CLI, the experiment registry, the exporter and the
+:mod:`repro.service` worker fleet all execute through it, so a
+:class:`~repro.platform.RunSpec` produces the same
+:class:`~repro.runtime.runner.RunResult` bytes no matter which front
+door submitted it.
+
+Two construction modes, matching the two historical call shapes:
+
+* ``ExecutionEngine()`` — **ambient**: inherits whatever
+  :class:`~repro.perf.context.PerfContext` is installed (or the serial
+  default).  This is the library-call shape; it is byte-identical to
+  calling the underlying runners directly.
+* ``ExecutionEngine.from_options(jobs=4, cache=...)`` — **configured**:
+  :meth:`session` installs the engine's own context, and every
+  execution method run inside (or outside — methods self-install when
+  no engine session is active) uses those knobs.  This is the CLI and
+  service-worker shape.
+
+Either way the execution *semantics* are identical; configuration only
+selects fan-out, memoization and instrumentation, never results.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence
+
+from .perf.context import PerfContext, get_context, perf_context
+
+if TYPE_CHECKING:
+    from .experiments.report import ExperimentResult
+    from .obs.metrics import MetricsRegistry
+    from .perf.cache import RunCache
+    from .platform.spec import PlatformSpec, RunSpec
+    from .runtime.runner import RunResult
+
+__all__ = ["EngineOptions", "ExecutionEngine"]
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Execution knobs an engine session installs (mirrors
+    :class:`~repro.perf.context.PerfContext`; every field only affects
+    *how* cells run — fan-out, memoization, instrumentation — never
+    what they compute)."""
+
+    #: Worker processes for cell fan-out; 1 = serial.
+    jobs: int = 1
+    #: Memoization cache for RunResults; None disables caching.
+    cache: Optional["RunCache"] = None
+    #: Metrics sink; None falls back to the global registry.
+    counters: Optional["MetricsRegistry"] = None
+    #: Wall-clock budget per cell in the parallel path, seconds.
+    cell_timeout: Optional[float] = None
+    #: Pool dispatch attempts before degrading to serial.
+    max_retries: int = 2
+    #: Variance-adaptive Monte-Carlo stopping target (off by default).
+    target_ci: Optional[float] = None
+    #: Hard trial ceiling per cell when ``target_ci`` is active.
+    max_adaptive_runs: int = 64
+
+
+class ExecutionEngine:
+    """The single path from specs and experiment ids to results.
+
+    Construct ambient (``ExecutionEngine()``) to inherit the caller's
+    context, or configured (:meth:`from_options`) to own one.  Hold one
+    engine per logical submission scope: a CLI invocation, a service
+    job, a test.  Methods are safe to call without :meth:`session`;
+    wrapping several calls in one ``with engine.session():`` block
+    additionally shares the warm worker pool across them.
+    """
+
+    def __init__(self, options: Optional[EngineOptions] = None) -> None:
+        self.options = options
+        self._depth = 0
+
+    @classmethod
+    def from_options(cls, **kwargs: object) -> "ExecutionEngine":
+        """Engine with its own execution context (see
+        :class:`EngineOptions` for the accepted knobs)."""
+        return cls(EngineOptions(**kwargs))  # type: ignore[arg-type]
+
+    # -- context ------------------------------------------------------
+
+    @contextmanager
+    def session(self) -> Iterator[PerfContext]:
+        """Install the engine's execution context for the block.
+
+        Ambient engines and nested sessions are pass-throughs: the
+        innermost installed context keeps applying, so the serial
+        default CLI path stays byte-identical to the pre-engine code
+        and one outer session shares its pool with every inner call.
+        """
+        if self.options is None or self._depth > 0:
+            yield get_context()
+            return
+        self._depth += 1
+        try:
+            o = self.options
+            with perf_context(jobs=o.jobs, cache=o.cache,
+                              counters=o.counters,
+                              cell_timeout=o.cell_timeout,
+                              max_retries=o.max_retries,
+                              target_ci=o.target_ci,
+                              max_adaptive_runs=o.max_adaptive_runs) as ctx:
+                yield ctx
+        finally:
+            self._depth -= 1
+
+    # -- spec execution -----------------------------------------------
+
+    def run_specs(self, specs: Sequence["RunSpec"]) -> "list[RunResult]":
+        """Execute one :class:`RunSpec` per sweep cell.
+
+        Results come back in spec order, bit-identical to a serial
+        run; cache keys are the SHA-256 of each spec's canonical JSON.
+        """
+        from .platform.resolve import run_cells
+
+        with self.session():
+            return run_cells(list(specs))
+
+    def run_spec(self, spec: "RunSpec") -> "RunResult":
+        """Execute a single :class:`RunSpec`."""
+        return self.run_specs([spec])[0]
+
+    # -- experiment execution -----------------------------------------
+
+    def run_experiment(self, experiment_id: str, fast: bool = True,
+                       seed: int = 0,
+                       platform: Optional["PlatformSpec"] = None,
+                       ) -> "ExperimentResult":
+        """Run one registered experiment by id.
+
+        ``platform`` re-targets the experiment; only runners whose
+        signature is platform-parameterised accept it (anything else
+        is a :class:`~repro.errors.ConfigurationError`, because those
+        layouts are fixed by the paper).
+        """
+        from .errors import ConfigurationError
+        from .experiments.registry import EXPERIMENTS
+
+        try:
+            _, runner = EXPERIMENTS[experiment_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown experiment {experiment_id!r}; "
+                f"known: {sorted(EXPERIMENTS)}"
+            ) from None
+        kwargs: dict = {"fast": fast, "seed": seed}
+        if platform is not None:
+            import inspect
+
+            if "platform" not in inspect.signature(runner).parameters:
+                raise ConfigurationError(
+                    f"experiment {experiment_id!r} is not "
+                    "platform-parameterised (its layout is fixed by the "
+                    "paper); run it without --spec/platform"
+                )
+            kwargs["platform"] = platform
+        with self.session():
+            return runner(**kwargs)
+
+    def run_experiments(self, ids: Iterable[str], fast: bool = True,
+                        seed: int = 0,
+                        platform: Optional["PlatformSpec"] = None,
+                        ) -> "dict[str, ExperimentResult]":
+        """Run several experiments under one session (one shared
+        pool), in the given order."""
+        with self.session():
+            return {
+                eid: self.run_experiment(eid, fast=fast, seed=seed,
+                                         platform=platform)
+                for eid in ids
+            }
+
+    def export_experiments(
+        self,
+        directory: "str | pathlib.Path",
+        ids: Optional[Iterable[str]] = None,
+        fast: bool = True,
+        seed: int = 0,
+    ) -> "dict[str, list[str]]":
+        """Run and export experiments (JSON + CSV + rendered text).
+
+        This is the artifact-producing path the service workers share
+        with ``repro export``: same engine, same files, same bytes.
+        """
+        from .experiments.export import export_all
+
+        with self.session():
+            return export_all(directory, ids=ids, fast=fast, seed=seed,
+                              engine=self)

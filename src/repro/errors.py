@@ -97,3 +97,30 @@ class CacheCorruptionError(ReproError):
     quarantined and treated as misses — but :meth:`RunCache.verify`
     uses it to classify entries in its report.
     """
+
+
+class ServiceError(ReproError):
+    """Base class for job-service failures (see :mod:`repro.service`)."""
+
+
+class JobNotFoundError(ServiceError):
+    """A job id names no submission recorded in the service journal."""
+
+
+class ClaimConflict(ServiceError):
+    """A worker's lease on a job no longer exists or belongs to
+    another worker.
+
+    Raised when a heartbeat or completion finds the claim file gone or
+    re-owned — the job's lease expired and another worker re-claimed
+    it.  The losing worker must discard its attempt without publishing.
+    """
+
+
+class JournalCorruptionError(ServiceError):
+    """A non-final journal line is unparseable.
+
+    A truncated *final* line (a crash mid-append) is tolerated and
+    skipped; corruption anywhere earlier means the journal can no
+    longer be trusted as the queue's source of truth.
+    """

@@ -14,7 +14,7 @@ import pathlib
 from typing import Iterable
 
 from ..errors import ConfigurationError
-from .registry import EXPERIMENTS, run_experiment
+from .registry import EXPERIMENTS
 from .report import ExperimentResult
 
 
@@ -56,7 +56,14 @@ def export_series_csv(result: ExperimentResult,
     directory.mkdir(parents=True, exist_ok=True)
     written: list[pathlib.Path] = []
     for app, series in result.data.items():
-        if not isinstance(series, dict) or "nodes" not in series:
+        if not isinstance(series, dict):
+            continue
+        nodes = series.get("nodes")
+        # A plottable series carries *parallel sequences*; table-style
+        # results (e.g. table1) hold scalar "nodes" = the machine's
+        # node count and have no per-point series to write.
+        if not isinstance(nodes, (list, tuple)) \
+                or "relative_performance" not in series:
             continue
         path = directory / f"{result.experiment_id}_{app}.csv"
         with path.open("w", newline="") as fh:
@@ -81,8 +88,19 @@ def export_all(
     ids: Iterable[str] | None = None,
     fast: bool = True,
     seed: int = 0,
+    engine=None,
 ) -> dict[str, list[str]]:
-    """Run and export a set of experiments; returns id -> written paths."""
+    """Run and export a set of experiments; returns id -> written paths.
+
+    ``engine`` (an :class:`~repro.engine.ExecutionEngine`) selects the
+    execution context; the default ambient engine keeps the historical
+    behaviour.  The written bytes are identical for any engine — that
+    is the whole point of the shared core.
+    """
+    from ..engine import ExecutionEngine
+
+    if engine is None:
+        engine = ExecutionEngine()
     directory = pathlib.Path(directory)
     ids = list(ids) if ids is not None else list(EXPERIMENTS)
     unknown = [i for i in ids if i not in EXPERIMENTS]
@@ -90,7 +108,7 @@ def export_all(
         raise ConfigurationError(f"unknown experiment ids: {unknown}")
     out: dict[str, list[str]] = {}
     for eid in ids:
-        result = run_experiment(eid, fast=fast, seed=seed)
+        result = engine.run_experiment(eid, fast=fast, seed=seed)
         paths = [str(export_json(result, directory))]
         paths += [str(p) for p in export_series_csv(result, directory)]
         (directory / f"{eid}.txt").write_text(result.render() + "\n")

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..errors import ConfigurationError
 from . import (
     eq1,
     exascale,
@@ -62,30 +61,9 @@ def run_experiment(experiment_id: str, fast: bool = True, seed: int = 0,
     the experiment at another platform; only experiments whose runner
     is platform-parameterised accept it.
     """
-    try:
-        _, runner = EXPERIMENTS[experiment_id]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown experiment {experiment_id!r}; "
-            f"known: {sorted(EXPERIMENTS)}"
-        ) from None
-    kwargs = {"fast": fast, "seed": seed}
-    if platform is not None:
-        import inspect
-
-        if "platform" not in inspect.signature(runner).parameters:
-            raise ConfigurationError(
-                f"experiment {experiment_id!r} is not "
-                "platform-parameterised (its layout is fixed by the "
-                "paper); run it without --spec/platform"
-            )
-        kwargs["platform"] = platform
-    if jobs != 1 or cache is not None:
-        from ..perf.context import perf_context
-
-        with perf_context(jobs=jobs, cache=cache):
-            return runner(**kwargs)
-    return runner(**kwargs)
+    engine = _engine_for(jobs, cache)
+    return engine.run_experiment(experiment_id, fast=fast, seed=seed,
+                                 platform=platform)
 
 
 def run_all(fast: bool = True, seed: int = 0, jobs: int = 1,
@@ -96,10 +74,20 @@ def run_all(fast: bool = True, seed: int = 0, jobs: int = 1,
     sweeps (fork cost is paid once); ``cache`` deduplicates cells
     repeated across artefacts and invocations.
     """
-    from ..perf.context import perf_context
+    from ..engine import ExecutionEngine
 
-    with perf_context(jobs=jobs, cache=cache):
-        return {
-            eid: run_experiment(eid, fast=fast, seed=seed)
-            for eid in EXPERIMENTS
-        }
+    engine = ExecutionEngine.from_options(jobs=jobs, cache=cache)
+    return engine.run_experiments(EXPERIMENTS, fast=fast, seed=seed)
+
+
+def _engine_for(jobs: int, cache):
+    """The explicit-knob compatibility shim: default arguments keep
+    inheriting the ambient context (so ``run_all(jobs=4)`` composes
+    with nested ``run_experiment`` calls exactly as before the
+    :class:`~repro.engine.ExecutionEngine` extraction), while any
+    explicit knob gets its own engine session."""
+    from ..engine import ExecutionEngine
+
+    if jobs != 1 or cache is not None:
+        return ExecutionEngine.from_options(jobs=jobs, cache=cache)
+    return ExecutionEngine()

@@ -37,7 +37,8 @@ from ..errors import ConfigurationError
 #: The instrumented layers, in fixed display order (Chrome-trace track
 #: order).  Hooks must name one of these; anything else is a
 #: configuration error so typos never silently create a new track.
-LAYERS = ("hw", "kernel", "lwk", "ikc", "proxy", "sched", "perf", "faults")
+LAYERS = ("hw", "kernel", "lwk", "ikc", "proxy", "sched", "perf", "faults",
+          "service")
 
 _LAYER_INDEX = {name: i for i, name in enumerate(LAYERS)}
 

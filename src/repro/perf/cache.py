@@ -34,6 +34,7 @@ import logging
 import os
 import pathlib
 import tempfile
+import time
 from typing import TYPE_CHECKING, Optional
 
 from ..analysis.race import get_race_detector
@@ -267,6 +268,69 @@ class RunCache:
                 report["quarantined"].append(path.name)
             else:
                 report["ok"] += 1
+        return report
+
+    def gc(self, max_age_days: Optional[float] = None,
+           max_bytes: Optional[int] = None) -> dict:
+        """Prune disk-tier entries by age and/or total size.
+
+        ``max_age_days`` removes entries older than the cutoff (by
+        mtime); ``max_bytes`` then removes oldest-first until the tier
+        fits the budget.  At least one bound is required.  Returns
+        ``{"checked", "removed", "kept", "reclaimed_bytes"}``.
+
+        Quarantined entries are *never* touched: ``quarantine/`` holds
+        corruption evidence for post-mortems, and reclaiming it would
+        destroy exactly the bytes someone needs to inspect.  Pruned
+        keys are dropped from the memory tier too, so a gc'd entry is
+        a true miss afterwards.
+        """
+        if max_age_days is None and max_bytes is None:
+            raise ConfigurationError(
+                "cache gc needs a bound: max_age_days and/or max_bytes")
+        if max_age_days is not None and max_age_days < 0:
+            raise ConfigurationError("max_age_days must be >= 0")
+        if max_bytes is not None and max_bytes < 0:
+            raise ConfigurationError("max_bytes must be >= 0")
+        report = {"checked": 0, "removed": 0, "kept": 0,
+                  "reclaimed_bytes": 0}
+        if self.directory is None:
+            return report
+        entries = []  # (mtime, path, size) — oldest first after sort
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, str(path), st.st_size))
+        entries.sort()
+        report["checked"] = len(entries)
+        doomed = []
+        survivors = []
+        if max_age_days is not None:
+            # Entry ages are measured against the host clock: gc is an
+            # operator command, not a simulation path.
+            cutoff = time.time() - max_age_days * 86400.0
+            for entry in entries:
+                (doomed if entry[0] < cutoff else survivors).append(entry)
+        else:
+            survivors = entries
+        if max_bytes is not None:
+            total = sum(size for _, _, size in survivors)
+            while survivors and total > max_bytes:
+                oldest = survivors.pop(0)
+                doomed.append(oldest)
+                total -= oldest[2]
+        for _, pathname, size in doomed:
+            path = pathlib.Path(pathname)
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            self._memory.pop(path.stem, None)
+            report["removed"] += 1
+            report["reclaimed_bytes"] += size
+        report["kept"] = report["checked"] - report["removed"]
         return report
 
     def info(self) -> dict:

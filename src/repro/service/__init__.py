@@ -1,0 +1,49 @@
+"""repro.service — the simulation-as-a-service layer.
+
+The ROADMAP north star made concrete: instead of one-shot CLI
+invocations, experiments and sweeps are *submitted* to a persistent
+queue and executed by a crash-tolerant worker fleet — the
+Balsam-style launcher/site split, scaled down to a directory and a
+JSONL journal.  Everything still executes through the one shared
+:class:`~repro.engine.ExecutionEngine`, so a job's artifacts are
+byte-identical to the serial ``repro experiment``/``repro export``
+path for any worker count, before and after worker crashes.
+
+Layers (bottom up):
+
+* :mod:`~repro.service.journal` — append-only JSONL, the single
+  source of truth;
+* :mod:`~repro.service.jobs` — frozen, serialized submissions;
+* :mod:`~repro.service.queue` — the folded job table, atomic claims,
+  clock-free leases, retry/fail transitions;
+* :mod:`~repro.service.worker` — claim → execute → publish, heartbeat
+  and lease-reaping;
+* :mod:`~repro.service.fleet` — ``repro serve`` for one worker or an
+  OS-process fleet.
+
+CLI verbs: ``repro submit``, ``repro serve``, ``repro status``,
+``repro fetch``.  See ``docs/SERVICE.md`` for queue states, lease
+semantics and a crash-recovery walkthrough.
+"""
+
+from __future__ import annotations
+
+from .fleet import serve
+from .jobs import JOB_KINDS, JobSpec, job_id_for, load_jobspec
+from .journal import Journal
+from .queue import JobQueue, JobState, JobView, default_service_dir
+from .worker import Worker
+
+__all__ = [
+    "JOB_KINDS",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "JobView",
+    "Journal",
+    "Worker",
+    "default_service_dir",
+    "job_id_for",
+    "load_jobspec",
+    "serve",
+]

@@ -1,0 +1,66 @@
+"""Fleet orchestration: ``repro serve`` with one or many workers.
+
+A single worker runs in-process (the shape tests exercise and the
+crash-recovery walkthrough in ``docs/SERVICE.md`` narrates).  A fleet
+of ``N > 1`` runs each worker as an OS process executing ``repro serve
+--workers 1`` against the same service directory — real processes,
+real kill -9 tolerance, no shared interpreter state.  The queue's
+claim files arbitrate between them; nothing here coordinates beyond
+spawn-and-wait.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..faults.tolerance import RetryPolicy
+from .queue import JobQueue
+from .worker import Worker
+
+__all__ = ["serve"]
+
+
+def serve(directory: "str | os.PathLike | None" = None, workers: int = 1,
+          drain: bool = False, poll_interval: float = 0.1,
+          lease_ticks: int = 50, max_retries: int = 3,
+          backoff: float = 0.0,
+          max_polls: Optional[int] = None) -> dict:
+    """Run a worker (or fleet) against the service directory.
+
+    Returns a summary dict; ``{"exit_code": 0}`` on success.  With
+    ``drain=True`` every worker exits once the queue is fully
+    terminal; otherwise they serve until interrupted.
+    """
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+    retry = RetryPolicy(max_retries=max_retries, backoff_base=backoff)
+    queue = JobQueue(directory, retry=retry)
+    if workers == 1:
+        worker = Worker(queue, poll_interval=poll_interval,
+                        lease_ticks=lease_ticks, drain=drain,
+                        max_polls=max_polls)
+        summary = worker.run()
+        summary["exit_code"] = 0
+        return summary
+
+    cmd = [sys.executable, "-m", "repro", "serve",
+           "--dir", str(queue.root), "--workers", "1",
+           "--poll", str(poll_interval),
+           "--lease-ticks", str(lease_ticks),
+           "--max-retries", str(max_retries),
+           "--backoff", str(backoff)]
+    if drain:
+        cmd.append("--drain")
+    if max_polls is not None:
+        cmd += ["--max-polls", str(max_polls)]
+    procs = [subprocess.Popen(cmd) for _ in range(workers)]
+    codes = [p.wait() for p in procs]
+    return {
+        "workers": workers,
+        "worker_exit_codes": codes,
+        "exit_code": max(codes, default=0),
+    }

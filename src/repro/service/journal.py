@@ -1,0 +1,90 @@
+"""Append-only JSONL journal — the queue's single source of truth.
+
+The service stores queue state the way Balsam's launcher stores job
+state in its database: every transition is a *record*, and the current
+table is a fold over the record stream.  Here the store is a plain
+JSONL file because it gives exactly the two properties the service
+needs with zero dependencies:
+
+* **Transactional appends.**  Each record is one canonical JSON line
+  written with a single ``os.write`` on an ``O_APPEND`` descriptor —
+  the POSIX guarantee for append-mode writes means concurrent workers
+  never interleave bytes within a line.
+* **Crash evidence, not crash loss.**  A worker killed mid-append
+  leaves at most one truncated *final* line, which :meth:`records`
+  skips; everything before it is intact.  Corruption anywhere earlier
+  is a real integrity failure and raises
+  :class:`~repro.errors.JournalCorruptionError`.
+
+Records are canonical JSON (sorted keys, fixed separators) so the
+journal bytes are a deterministic function of the transition sequence
+— ``repro analyze lint`` holds this module to the same DET rules as
+the exporters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from ..errors import JournalCorruptionError
+from ..obs.export import canonical_json
+
+__all__ = ["Journal"]
+
+
+class Journal:
+    """One append-only JSONL file of state-transition records."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = pathlib.Path(path)
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (a JSON-able dict) as a single
+        canonical line.  One ``os.write`` per record: concurrent
+        appenders can interleave *lines*, never bytes."""
+        data = (canonical_json(record) + "\n").encode("utf-8")
+        fd = os.open(self.path, os.O_APPEND | os.O_CREAT | os.O_WRONLY,
+                     0o644)
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
+
+    def records(self) -> list[dict]:
+        """Every intact record, in append order.
+
+        A missing file is an empty journal.  An unparseable *final*
+        line is a crash-truncated append and is skipped; an
+        unparseable earlier line raises
+        :class:`~repro.errors.JournalCorruptionError`.
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        out: list[dict] = []
+        lines = text.split("\n")
+        for i, line in enumerate(lines):
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                if i == len(lines) - 1:
+                    break  # torn final append: tolerated, not trusted
+                raise JournalCorruptionError(
+                    f"{self.path}:{i + 1}: unparseable journal line "
+                    f"({exc})") from exc
+            if not isinstance(record, dict):
+                if i == len(lines) - 1:
+                    break
+                raise JournalCorruptionError(
+                    f"{self.path}:{i + 1}: journal line is "
+                    f"{type(record).__name__}, expected object")
+            out.append(record)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records())

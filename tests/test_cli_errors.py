@@ -1,0 +1,125 @@
+"""CLI error paths: library failures become diagnostics, never
+tracebacks.
+
+Every ``ReproError`` raised below ``main()`` must surface as a
+``repro: error: ...`` line on stderr with exit code 2 — the message
+text comes from :mod:`repro.errors` subclasses, and nothing
+Python-internal (tracebacks, exception class reprs) leaks out.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.platform import RunSpec, get_platform
+
+
+@pytest.fixture
+def run_main(capsys):
+    """Invoke main() and hand back (exit_code, stdout, stderr) with the
+    no-traceback invariant asserted on every call."""
+
+    def invoke(argv):
+        code = main(argv)
+        captured = capsys.readouterr()
+        assert "Traceback" not in captured.err
+        assert "Traceback" not in captured.out
+        return code, captured.out, captured.err
+
+    return invoke
+
+
+def _diagnostic(err: str) -> str:
+    assert err.startswith("repro: error: "), err
+    return err
+
+
+def test_malformed_json_spec(tmp_path, run_main):
+    bad = tmp_path / "broken.json"
+    bad.write_text("{this is not json")
+    code, _, err = run_main(["run", str(bad)])
+    assert code == 2
+    assert "invalid JSON" in _diagnostic(err)
+
+
+def test_spec_with_invalid_schema(tmp_path, run_main):
+    payload = get_platform("ofp-default").to_dict()
+    payload["frobnicate"] = True  # unknown field -> ConfigurationError
+    bad = tmp_path / "bad_platform.json"
+    bad.write_text(json.dumps(payload))
+    code, _, err = run_main(["run", str(bad), "--app", "LQCD"])
+    assert code == 2
+    assert "frobnicate" in _diagnostic(err)
+
+
+def test_run_spec_with_unknown_app(tmp_path, run_main):
+    payload = RunSpec(platform=get_platform("ofp-default"), app="Milc",
+                      n_nodes=64).to_dict()
+    payload["app"] = "Linpack"
+    bad = tmp_path / "bad_app.json"
+    bad.write_text(json.dumps(payload))
+    code, _, err = run_main(["run", str(bad)])
+    assert code == 2
+    assert "Linpack" in _diagnostic(err)
+
+
+def test_unknown_platform_name(run_main):
+    code, _, err = run_main(["compare", "LQCD", "--platform", "atlantis"])
+    assert code == 2
+    err = _diagnostic(err)
+    assert "atlantis" in err
+    # The diagnostic is actionable: it lists what *is* registered.
+    assert "fugaku" in err
+
+
+def test_unreadable_spec_file(tmp_path, run_main):
+    code, _, err = run_main(["run", str(tmp_path / "absent.json")])
+    assert code == 2
+    assert "absent.json" in _diagnostic(err)
+
+
+def test_platform_show_unknown_name(run_main):
+    code, _, err = run_main(["platform", "show", "nonesuch"])
+    assert code == 2
+    assert "nonesuch" in _diagnostic(err)
+
+
+def test_submit_malformed_jobspec(tmp_path, run_main):
+    bad = tmp_path / "job.json"
+    bad.write_text(json.dumps({"kind": "warp", "specs": []}))
+    code, _, err = run_main(
+        ["submit", str(bad), "--dir", str(tmp_path / "svc")])
+    assert code == 2
+    assert "warp" in _diagnostic(err)
+
+
+def test_status_unknown_job(tmp_path, run_main):
+    code, _, err = run_main(
+        ["status", "j000042-cafecafeca", "--dir", str(tmp_path / "svc")])
+    assert code == 2
+    assert "j000042-cafecafeca" in _diagnostic(err)
+
+
+def test_fetch_before_done(tmp_path, run_main):
+    spec = RunSpec(platform=get_platform("ofp-default"), app="Milc",
+                   n_nodes=64)
+    spec_file = tmp_path / "run.json"
+    spec_file.write_text(spec.to_json())
+    svc = str(tmp_path / "svc")
+    code, out, _ = run_main(["submit", str(spec_file), "--dir", svc])
+    assert code == 0
+    job_id = out.strip()
+    code, _, err = run_main(["fetch", job_id, "--dir", svc])
+    assert code == 2
+    assert "not done" in _diagnostic(err)
+
+
+def test_cache_gc_without_bounds(run_main, tmp_path):
+    code, _, err = run_main(
+        ["cache", "gc", "--cache-dir", str(tmp_path / "cache")])
+    assert code == 2
+    assert "max-age-days" in _diagnostic(err) or \
+        "max_age_days" in _diagnostic(err)

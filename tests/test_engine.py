@@ -1,0 +1,106 @@
+"""ExecutionEngine: the single RunSpec -> RunResult path.
+
+The tentpole guarantee: every front door (library call, one-shot CLI,
+experiment registry, exporter, service worker) runs through the same
+engine and produces identical results for identical inputs, whatever
+the jobs/cache configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import EngineOptions, ExecutionEngine
+from repro.errors import ConfigurationError
+from repro.experiments import run_experiment
+from repro.obs.metrics import MetricsRegistry
+from repro.perf import RunCache, get_context, perf_context
+from repro.platform import RunSpec, get_platform, run_cells
+
+
+def _spec(app="Milc", nodes=64, seed=3):
+    return RunSpec(platform=get_platform("ofp-default"), app=app,
+                   n_nodes=nodes, n_runs=2, seed=seed)
+
+
+def test_ambient_engine_matches_direct_run_cells():
+    spec = _spec()
+    direct = run_cells([spec])[0]
+    via_engine = ExecutionEngine().run_spec(spec)
+    assert via_engine == direct
+
+
+def test_configured_engine_is_byte_identical_to_ambient():
+    specs = [_spec(nodes=n) for n in (32, 64)]
+    serial = ExecutionEngine().run_specs(specs)
+    parallel = ExecutionEngine.from_options(jobs=2).run_specs(specs)
+    assert parallel == serial
+
+
+def test_engine_session_installs_and_restores_context(tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    counters = MetricsRegistry()
+    engine = ExecutionEngine.from_options(jobs=2, cache=cache,
+                                          counters=counters)
+    base = get_context()
+    with engine.session() as ctx:
+        assert get_context() is ctx
+        assert ctx.jobs == 2
+        assert ctx.cache is cache
+        assert ctx.counters is counters
+    assert get_context() is base
+
+
+def test_ambient_engine_session_inherits_installed_context(tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    with perf_context(cache=cache) as outer:
+        with ExecutionEngine().session() as ctx:
+            assert ctx is outer
+            assert ctx.cache is cache
+
+
+def test_nested_engine_sessions_share_one_context():
+    engine = ExecutionEngine.from_options(jobs=2)
+    with engine.session() as outer:
+        with engine.session() as inner:
+            # Re-entry is a pass-through: same context, same pool.
+            assert inner is outer
+
+
+def test_engine_run_experiment_matches_registry_path():
+    via_registry = run_experiment("eq1")
+    via_engine = ExecutionEngine().run_experiment("eq1")
+    assert via_engine.render() == via_registry.render()
+
+
+def test_engine_rejects_unknown_experiment():
+    with pytest.raises(ConfigurationError, match="fig99"):
+        ExecutionEngine().run_experiment("fig99")
+
+
+def test_engine_rejects_platform_on_fixed_experiments():
+    with pytest.raises(ConfigurationError, match="platform-param"):
+        ExecutionEngine().run_experiment(
+            "table1", platform=get_platform("a64fx-testbed"))
+
+
+def test_engine_export_matches_cli_export_bytes(tmp_path):
+    """export via a configured engine == export via the ambient one,
+    byte for byte (the property the service golden test builds on)."""
+    a = tmp_path / "ambient"
+    b = tmp_path / "configured"
+    ExecutionEngine().export_experiments(a, ids=["eq1"])
+    cache = RunCache(tmp_path / "cache")
+    ExecutionEngine.from_options(jobs=2, cache=cache).export_experiments(
+        b, ids=["eq1"])
+    files_a = sorted(p.name for p in a.iterdir())
+    files_b = sorted(p.name for p in b.iterdir())
+    assert files_a == files_b and files_a
+    for name in files_a:
+        assert (a / name).read_bytes() == (b / name).read_bytes()
+
+
+def test_engine_options_are_frozen():
+    options = EngineOptions(jobs=2)
+    with pytest.raises(Exception):
+        options.jobs = 4  # type: ignore[misc]

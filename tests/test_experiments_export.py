@@ -57,3 +57,21 @@ def test_json_handles_numpy_types(tmp_path):
     result = run_experiment("fig4")
     path = export_json(result, tmp_path)
     json.loads(path.read_text())  # must not raise
+
+
+def test_table_style_scalar_nodes_write_no_csv(tmp_path):
+    # table1's per-machine dicts carry a *scalar* "nodes" (the machine
+    # node count) — regression: export must not mistake it for a
+    # plottable series and crash iterating an int.
+    result = run_experiment("table1")
+    assert export_series_csv(result, tmp_path) == []
+
+
+def test_export_all_every_registered_experiment(tmp_path):
+    from repro.experiments import EXPERIMENTS
+
+    written = export_all(tmp_path)  # default: everything
+    assert set(written) == set(EXPERIMENTS)
+    for eid in EXPERIMENTS:
+        assert (tmp_path / f"{eid}.json").exists()
+        assert (tmp_path / f"{eid}.txt").exists()

@@ -106,6 +106,31 @@ def test_old_imports_still_work_via_the_shim():
     assert reexported is MetricsRegistry
 
 
+def test_get_counters_warns_exactly_once_per_call_site():
+    """The shim must warn on use — but only once, not once per call:
+    stacklevel=2 attributes the warning to the caller, and the default
+    filter dedups on (message, category, module, lineno)."""
+    import warnings
+
+    from repro.perf.counters import get_counters
+
+    def legacy_call_site():
+        return get_counters()
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.resetwarnings()
+        warnings.simplefilter("default")
+        legacy_call_site()
+        legacy_call_site()
+        legacy_call_site()
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)
+                    and "get_counters" in str(w.message)]
+    assert len(deprecations) == 1
+    # And the warning points at the *caller*, not the shim internals.
+    assert deprecations[0].filename == __file__
+
+
 def test_get_metrics_prefers_the_ambient_context():
     from repro.perf.context import perf_context
 

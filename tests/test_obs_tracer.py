@@ -93,5 +93,7 @@ def test_layer_queries_and_filter():
 
 
 def test_layer_order_is_the_fixed_display_order():
+    # "service" was appended (not inserted) so the Chrome-trace track
+    # ids of every pre-existing layer are unchanged.
     assert LAYERS == ("hw", "kernel", "lwk", "ikc", "proxy", "sched",
-                      "perf", "faults")
+                      "perf", "faults", "service")

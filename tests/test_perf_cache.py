@@ -10,8 +10,8 @@ from repro.apps import ALL_PROFILES
 from repro.errors import ConfigurationError
 from repro.kernel.linux import LinuxKernel
 from repro.kernel.tuning import ofp_default, untuned
-from repro.perf import PerfCounters, RunCache, RunCell, execute_cells, \
-    perf_context
+from repro.obs.metrics import MetricsRegistry
+from repro.perf import RunCache, RunCell, execute_cells, perf_context
 from repro.perf.cache import default_cache_dir, result_from_dict, \
     result_to_dict
 from repro.perf.fingerprint import fingerprint, run_key
@@ -91,7 +91,7 @@ def test_disk_tier_replays_across_instances(tmp_path, cell):
     cold = RunCache(tmp_path)
     replayed = cold.get(cell.key())
     assert replayed == computed
-    counters = PerfCounters()
+    counters = MetricsRegistry()
     with perf_context(cache=RunCache(tmp_path), counters=counters):
         [via_executor] = execute_cells([cell])
     assert via_executor == computed
@@ -136,7 +136,7 @@ def test_default_cache_dir_env_override(monkeypatch, tmp_path):
 
 
 def test_hit_rate_counter(tmp_path, cell):
-    counters = PerfCounters()
+    counters = MetricsRegistry()
     with perf_context(cache=RunCache(tmp_path), counters=counters):
         execute_cells([cell])
         execute_cells([cell])
@@ -203,7 +203,7 @@ def test_sweep_survives_corrupt_entry(tmp_path, ofp_machine, ofp_linux):
              for n in (16, 64, 256)]
     first = execute_cells(cells, jobs=1, cache=RunCache(tmp_path))
     (tmp_path / f"{cells[1].key()}.json").write_text("{nope")
-    counters = PerfCounters()
+    counters = MetricsRegistry()
     with perf_context(cache=RunCache(tmp_path), counters=counters):
         replay = execute_cells(cells)
     assert counters.counts["cache.hits"] == 2
@@ -233,3 +233,94 @@ def test_verify_reports_and_quarantines(tmp_path, ofp_machine, ofp_linux):
 def test_verify_on_memory_only_cache():
     assert RunCache().verify() == {"checked": 0, "ok": 0,
                                    "quarantined": []}
+
+
+# -- garbage collection -------------------------------------------------
+
+
+def _age(path, days):
+    import os
+    past = path.stat().st_mtime - days * 86400.0
+    os.utime(path, (past, past))
+
+
+def test_gc_requires_a_bound(tmp_path):
+    with pytest.raises(ConfigurationError, match="bound"):
+        RunCache(tmp_path).gc()
+    with pytest.raises(ConfigurationError):
+        RunCache(tmp_path).gc(max_age_days=-1)
+    with pytest.raises(ConfigurationError):
+        RunCache(tmp_path).gc(max_bytes=-1)
+
+
+def test_gc_by_age_prunes_old_entries(tmp_path, ofp_machine, ofp_linux):
+    profile = ALL_PROFILES["LQCD"]()
+    cells = [RunCell(ofp_machine, profile, ofp_linux, n, 1, seed=5)
+             for n in (16, 64)]
+    cache = RunCache(tmp_path)
+    execute_cells(cells, jobs=1, cache=cache)
+    old = tmp_path / f"{cells[0].key()}.json"
+    _age(old, days=30)
+    report = cache.gc(max_age_days=7)
+    assert report["checked"] == 2
+    assert report["removed"] == 1 and report["kept"] == 1
+    assert report["reclaimed_bytes"] > 0
+    assert not old.exists()
+    # The pruned entry is a true miss (memory tier dropped too)...
+    assert cache.get(cells[0].key()) is None
+    # ...while the survivor still replays.
+    assert RunCache(tmp_path).get(cells[1].key()) is not None
+
+
+def test_gc_by_size_evicts_oldest_first(tmp_path, ofp_machine, ofp_linux):
+    profile = ALL_PROFILES["LQCD"]()
+    cells = [RunCell(ofp_machine, profile, ofp_linux, n, 1, seed=5)
+             for n in (16, 64, 256)]
+    cache = RunCache(tmp_path)
+    execute_cells(cells, jobs=1, cache=cache)
+    paths = [tmp_path / f"{c.key()}.json" for c in cells]
+    for i, path in enumerate(paths):
+        _age(path, days=len(paths) - i)  # paths[0] is the oldest
+    keep_budget = paths[2].stat().st_size
+    report = cache.gc(max_bytes=keep_budget)
+    assert report["removed"] == 2
+    assert [p.exists() for p in paths] == [False, False, True]
+
+
+def test_gc_zero_budget_clears_the_disk_tier(tmp_path, cell):
+    cache = RunCache(tmp_path)
+    execute_cells([cell], jobs=1, cache=cache)
+    report = cache.gc(max_bytes=0)
+    assert report == {"checked": 1, "removed": 1, "kept": 0,
+                      "reclaimed_bytes": report["reclaimed_bytes"]}
+    assert report["reclaimed_bytes"] > 0
+    assert not list(tmp_path.glob("*.json"))
+
+
+def test_gc_never_touches_quarantine(tmp_path, cell):
+    cache = RunCache(tmp_path)
+    execute_cells([cell], jobs=1, cache=cache)
+    path = tmp_path / f"{cell.key()}.json"
+    path.write_text("{corrupt")
+    assert RunCache(tmp_path).get(cell.key()) is None  # quarantines
+    quarantined = tmp_path / "quarantine" / path.name
+    _age(quarantined, days=365)
+    report = RunCache(tmp_path).gc(max_age_days=1, max_bytes=0)
+    assert report["checked"] == 0  # the disk tier is already empty
+    assert quarantined.read_text() == "{corrupt"
+
+
+def test_gc_on_memory_only_cache_is_a_noop():
+    assert RunCache().gc(max_bytes=0) == {
+        "checked": 0, "removed": 0, "kept": 0, "reclaimed_bytes": 0}
+
+
+def test_cli_cache_gc(tmp_path, cell, capsys):
+    from repro.cli import main
+
+    execute_cells([cell], jobs=1, cache=RunCache(tmp_path))
+    assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                 "--max-bytes", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "removed 1 of 1" in out
+    assert "quarantine untouched" in out

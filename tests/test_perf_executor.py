@@ -11,8 +11,8 @@ import pytest
 from repro.apps import ALL_PROFILES
 from repro.experiments import run_experiment
 from repro.experiments.appfigs import sweep_apps
+from repro.obs.metrics import MetricsRegistry
 from repro.perf import (
-    PerfCounters,
     RunCell,
     execute_cells,
     get_context,
@@ -88,7 +88,7 @@ def test_pool_failure_degrades_to_serial(monkeypatch, ofp_machine,
         raise BrokenProcessPool("worker died")
 
     monkeypatch.setattr(executor_mod, "_run_pool", broken_pool)
-    counters = PerfCounters()
+    counters = MetricsRegistry()
     with perf_context(jobs=4, counters=counters):
         results = execute_cells(cells)
         assert get_context()._pool_broken
@@ -126,7 +126,7 @@ def test_counters_record_fanout(ofp_machine, ofp_linux):
     profile = ALL_PROFILES["Lulesh"]()
     cells = [RunCell(ofp_machine, profile, ofp_linux, n, 1, 0)
              for n in (16, 64, 256)]
-    counters = PerfCounters()
+    counters = MetricsRegistry()
     with perf_context(jobs=1, counters=counters):
         execute_cells(cells)
     assert counters.counts["executor.cells"] == 3
@@ -156,7 +156,7 @@ def test_partial_pool_failure_retries_only_unfinished(
         return [by_key[c.key()] for c in todo]
 
     monkeypatch.setattr(executor_mod, "_run_pool", flaky)
-    counters = PerfCounters()
+    counters = MetricsRegistry()
     with caplog.at_level("WARNING", logger="repro.perf.executor"):
         with perf_context(jobs=4, counters=counters):
             results = execute_cells(cells)
@@ -190,7 +190,7 @@ def test_partial_results_survive_total_pool_collapse(
             cause="timeout: cell exceeded budget")
 
     monkeypatch.setattr(executor_mod, "_run_pool", always_failing)
-    counters = PerfCounters()
+    counters = MetricsRegistry()
     with perf_context(jobs=4, counters=counters, max_retries=1):
         results = execute_cells(cells)
     assert counters.counts["executor.pool_failures"] == 1

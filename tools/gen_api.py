@@ -20,6 +20,8 @@ PACKAGES = [
     "repro.faults",
     "repro.platform",
     "repro.experiments",
+    "repro.engine",
+    "repro.service",
     "repro.perf",
     "repro.obs",
     "repro.analysis",
@@ -147,6 +149,31 @@ The `faults` experiment (`repro experiment faults --full`) sweeps job
 success rate and effective utilization against node count for both
 kernels under one seeded spec; `pytest -m faultsmoke` soaks the
 full-scale projection in CI.
+
+## The execution engine & job service
+
+Every way a `repro.platform.RunSpec` becomes a RunResult — library
+call, one-shot CLI, experiment registry, exporter, service worker —
+runs through one `repro.engine.ExecutionEngine`.  A bare
+`ExecutionEngine()` inherits the ambient `perf_context` (pure
+pass-through, byte-identical to calling the runners directly);
+`ExecutionEngine.from_options(jobs=..., cache=..., ...)` installs its
+own context for the duration of each `session()`.  Because there is a
+single execution core, the byte-identity guarantee extends across
+front doors for free.
+
+`repro.service` adds the durable shape on top: a persistent job queue
+(`repro submit`), a crash-tolerant worker fleet (`repro serve`), and
+`repro status`/`repro fetch` for inspection and artifact retrieval.
+All queue state is an append-only canonical-JSONL journal plus
+`O_CREAT|O_EXCL` claim files — atomic claims, clock-free heartbeat
+leases, atomic result publication — under `$REPRO_SERVICE_DIR`
+(default `~/.local/state/repro-service`).  Workers share the queue's
+content-addressed run cache, so artifacts are byte-identical to the
+serial `repro experiment`/`repro export` path for any worker count,
+including after `kill -9` and lease re-claims.  See
+`docs/SERVICE.md` for the state machine, the lease algebra, and a
+crash-recovery walkthrough.
 """
 
 
