@@ -1,0 +1,231 @@
+"""The chaos soak: crash, repair, restart — until the bytes match.
+
+One soak round is the service's whole crash-tolerance story exercised
+end to end:
+
+1. submit a small golden workload (one registered experiment plus a
+   two-cell sweep) to a fresh service directory, chaos off;
+2. install a seeded :class:`~repro.chaos.ChaosSpec` and drain the
+   queue with in-process workers, restarting each worker the schedule
+   kills (``raise`` mode — an injected crash unwinds like ``kill -9``,
+   no cleanup) and running ``fsck --repair``
+   (:func:`~repro.service.fsck.verify_service`) after every worker
+   exit, chaos suspended;
+3. once drained, run a final repair pass, then assert a fresh verify
+   is **clean** — every invariant holds;
+4. byte-compare every published result directory against the serial
+   golden computed directly through the
+   :class:`~repro.engine.ExecutionEngine`, no service layer at all.
+
+A round passes only when the queue drains, the directory verifies
+clean *and* the artifacts are byte-identical to the serial path — the
+acceptance bar for "crash tolerance that actually tolerates crashes".
+Each round re-seeds the schedule (``seed + round``), so ``rounds=N``
+explores N distinct crash interleavings, reproducibly.
+
+Termination is engineered, not hoped for: per-site ``max_fires`` caps
+bound total injected failures, the retry budget is generous enough
+(``max_retries=100``) that injected strandings never exhaust a job,
+and ``max_restarts`` bounds the crash/restart loop (hitting it is a
+soak *failure* — the queue stopped converging).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Optional
+
+from ..engine import ExecutionEngine
+from ..errors import ConfigurationError, CrashInjected, ReproError, \
+    ServiceError
+from ..faults.tolerance import RetryPolicy
+from ..obs.export import canonical_json
+from ..perf.cache import result_to_dict
+from ..service.fsck import verify_service
+from ..service.jobs import JobSpec
+from ..service.queue import TERMINAL, JobQueue
+from ..service.worker import Worker
+from .hooks import ChaosInjector, chaos_active, chaos_suspended
+from .spec import ChaosSpec
+
+__all__ = ["golden_jobspecs", "run_soak"]
+
+#: Retry budget for soak queues: generous enough that injected crashes
+#: never push a job to FAILED (a soak asserts convergence, not budget
+#: exhaustion — budget behaviour has its own tests).
+SOAK_RETRY = RetryPolicy(max_retries=100, backoff_base=0.0)
+
+
+def golden_jobspecs(seed: int = 0) -> "list[JobSpec]":
+    """The soak workload: one experiment export plus a two-cell sweep
+    (both CI-scale)."""
+    from ..platform import RunSpec, get_platform
+
+    platform = get_platform("ofp-default")
+    return [
+        JobSpec.for_experiment("eq1", fast=True, seed=seed),
+        JobSpec.for_specs([
+            RunSpec(platform=platform, app="Milc", n_nodes=64,
+                    n_runs=2, seed=seed),
+            RunSpec(platform=platform, app="AMG2013", n_nodes=128,
+                    n_runs=2, seed=seed),
+        ]),
+    ]
+
+
+def _produce_golden(jobspec: JobSpec, outdir: pathlib.Path) -> None:
+    """The serial reference: exactly what
+    :meth:`~repro.service.worker.Worker._run_jobspec` produces, with
+    no service layer involved."""
+    outdir.mkdir(parents=True)
+    engine = ExecutionEngine.from_options(cache=None)
+    if jobspec.kind == "experiment":
+        engine.export_experiments(outdir, ids=[jobspec.experiment],
+                                  fast=jobspec.fast, seed=jobspec.seed)
+        return
+    results = engine.run_specs(jobspec.specs)
+    payload = {
+        "jobspec": jobspec.to_dict(),
+        "results": [result_to_dict(r) for r in results],
+    }
+    (outdir / "results.json").write_text(canonical_json(payload) + "\n")
+
+
+def _compare_dirs(published: pathlib.Path,
+                  golden: pathlib.Path) -> "list[str]":
+    """Differences between two artifact trees (empty = identical):
+    relative paths present in one side only, or with differing bytes."""
+    rel = [sorted(str(p.relative_to(base)) for p in base.rglob("*")
+                  if p.is_file())
+           for base in (published, golden)]
+    diffs = [f"only-published: {p}" for p in rel[0] if p not in rel[1]]
+    diffs += [f"only-golden: {p}" for p in rel[1] if p not in rel[0]]
+    for name in rel[0]:
+        if name in rel[1] and (published / name).read_bytes() \
+                != (golden / name).read_bytes():
+            diffs.append(f"differs: {name}")
+    return sorted(diffs)
+
+
+def run_soak(directory: "str | os.PathLike", rounds: int = 3,
+             seed: int = 0, action: str = "kill", p: float = 1.0,
+             max_fires: int = 1, max_restarts: int = 100,
+             lease_ticks: int = 3, max_polls: int = 50,
+             spec: Optional[ChaosSpec] = None) -> dict:
+    """Run ``rounds`` soak rounds under ``directory``; the report dict.
+
+    ``spec`` overrides the default schedule (``ChaosSpec.everywhere``
+    with the given action/p/max_fires); either way round ``r`` runs it
+    re-seeded to ``seed + r``.  ``report["ok"]`` is True only when
+    every round drained, verified clean and matched the golden bytes.
+    """
+    if rounds < 1:
+        raise ConfigurationError("soak needs rounds >= 1")
+    base = pathlib.Path(directory)
+    schedule = spec if spec is not None else ChaosSpec.everywhere(
+        action=action, p=p, max_fires=max_fires, seed=seed, mode="raise")
+    if schedule.mode != "raise":
+        raise ConfigurationError(
+            "the in-process soak needs mode='raise' (exit mode is for "
+            "OS-process fleets: repro serve --chaos)")
+
+    jobspecs = golden_jobspecs(seed=0)
+    golden_dirs: dict[str, pathlib.Path] = {}
+    for jobspec in jobspecs:
+        gdir = base / "golden" / jobspec.digest()[:10]
+        _produce_golden(jobspec, gdir)
+        golden_dirs[jobspec.digest()] = gdir
+
+    report: dict = {
+        "spec": schedule.to_dict(),
+        "rounds": [],
+        "ok": True,
+    }
+    for r in range(rounds):
+        round_report = _run_round(
+            base / f"round-{seed + r:04d}",
+            schedule.with_seed(seed + r), jobspecs, golden_dirs,
+            max_restarts=max_restarts, lease_ticks=lease_ticks,
+            max_polls=max_polls)
+        round_report["round"] = r
+        report["rounds"].append(round_report)
+        report["ok"] = report["ok"] and round_report["ok"]
+    return report
+
+
+def _run_round(svc: pathlib.Path, schedule: ChaosSpec,
+               jobspecs: "list[JobSpec]", golden_dirs: dict,
+               max_restarts: int, lease_ticks: int,
+               max_polls: int) -> dict:
+    if svc.exists():
+        raise ConfigurationError(
+            f"soak round directory {svc} already exists; every round "
+            "needs a fresh service directory")
+    queue = JobQueue(svc, retry=SOAK_RETRY)
+    submitted = {queue.submit(js): js for js in jobspecs}
+
+    injector = ChaosInjector(schedule)
+    crashes = 0
+    worker_runs = 0
+    repairs = 0
+    with chaos_active(injector):
+        while not queue.drained():
+            if worker_runs > max_restarts:
+                raise ServiceError(
+                    f"soak round in {svc} did not converge within "
+                    f"{max_restarts} worker restarts ({crashes} "
+                    "crashes); the queue has stopped making progress")
+            worker = Worker(queue, worker_id=f"w{worker_runs}",
+                            poll_interval=0.0, lease_ticks=lease_ticks,
+                            drain=True, max_polls=max_polls)
+            worker_runs += 1
+            try:
+                worker.run()
+            except (CrashInjected, OSError, ReproError):
+                # The injected failure surface: a kill unwinding out of
+                # the worker, an io-error nothing upstream handles, or
+                # the journal's torn-tail guard refusing to append.
+                crashes += 1
+            # Chaos-suspended repair after every worker exit — exactly
+            # what an operator (or the CI job) runs after a real crash.
+            with chaos_suspended():
+                fsck = verify_service(svc, repair=True, retry=SOAK_RETRY)
+                repairs += fsck["repaired"]
+
+    with chaos_suspended():
+        final_repair = verify_service(svc, repair=True, retry=SOAK_RETRY)
+        repairs += final_repair["repaired"]
+        final = verify_service(svc, repair=False)
+
+    table = queue.table()
+    artifact_diffs: list = []
+    jobs_done = 0
+    for job_id in sorted(submitted):
+        view = table.get(job_id)
+        if view is None or view.state not in TERMINAL:
+            artifact_diffs.append(f"{job_id}: not terminal")
+            continue
+        if view.state.value != "done":
+            artifact_diffs.append(f"{job_id}: {view.state.value} "
+                                  f"({view.error})")
+            continue
+        jobs_done += 1
+        golden = golden_dirs[submitted[job_id].digest()]
+        artifact_diffs += [f"{job_id}: {d}" for d in
+                           _compare_dirs(queue.result_dir(job_id), golden)]
+
+    ok = final["clean"] and not artifact_diffs
+    return {
+        "service_dir": str(svc),
+        "seed": schedule.seed,
+        "crashes": crashes,
+        "worker_runs": worker_runs,
+        "repairs": repairs,
+        "chaos": injector.report(),
+        "verify_clean": final["clean"],
+        "verify_violations": [v["check"] for v in final["violations"]],
+        "jobs_done": jobs_done,
+        "artifact_diffs": artifact_diffs,
+        "ok": ok,
+    }

@@ -352,7 +352,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     drain=args.drain, poll_interval=args.poll,
                     lease_ticks=args.lease_ticks,
                     max_retries=args.max_retries, backoff=args.backoff,
-                    max_polls=args.max_polls)
+                    max_polls=args.max_polls, chaos=args.chaos)
     if "worker" in summary:
         print(f"worker {summary['worker']}: {summary['executed']} job(s) "
               f"executed, {summary['failed']} failed, "
@@ -393,7 +393,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 def _cmd_status(args: argparse.Namespace) -> int:
     from .service import JobQueue, JobState
 
-    queue = JobQueue(args.dir)
+    # Read-only (create=False): asking about an empty service is a
+    # question, not a reason to scaffold directories.
+    queue = JobQueue(args.dir, create=False)
+    if not args.job and not queue.root.is_dir():
+        print(f"no service directory at {queue.root} "
+              "(nothing submitted yet — see 'repro submit')")
+        return 0
     if args.job:
         view = queue.job(args.job)
         for key, value in sorted(view.to_dict().items()):
@@ -424,9 +430,14 @@ def _cmd_fetch(args: argparse.Namespace) -> int:
     import pathlib
     import shutil
 
+    from .errors import ServiceError
     from .service import JobQueue
 
-    queue = JobQueue(args.dir)
+    queue = JobQueue(args.dir, create=False)
+    if not queue.root.is_dir():
+        raise ServiceError(
+            f"no service directory at {queue.root} "
+            "(nothing submitted yet — see 'repro submit')")
     files = queue.result_files(args.job)
     if not args.out:
         for path in files:
@@ -440,6 +451,37 @@ def _cmd_fetch(args: argparse.Namespace) -> int:
         shutil.copyfile(path, dest)
         print(dest)
     return 0
+
+
+def _cmd_service(args: argparse.Namespace) -> int:
+    # service verify [--repair]
+    from .service.fsck import report_json, verify_service
+
+    report = verify_service(args.dir, repair=args.repair)
+    print(report_json(report))
+    return 0 if report["ok"] else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.chaos_cmd == "points":
+        from .chaos.hooks import CRASH_POINTS, WRITE_SITES
+
+        for site in CRASH_POINTS:
+            kind = "write" if site in WRITE_SITES else "control"
+            print(f"{site:<28} {kind}")
+        return 0
+
+    # chaos soak
+    from .chaos.soak import run_soak
+    from .chaos.spec import ChaosSpec
+    from .obs.export import canonical_json
+
+    spec = ChaosSpec.load(args.spec) if args.spec else None
+    report = run_soak(args.directory, rounds=args.rounds, seed=args.seed,
+                      action=args.action, p=args.p,
+                      max_fires=args.max_fires, spec=spec)
+    print(canonical_json(report))
+    return 0 if report["ok"] else 1
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -642,6 +684,50 @@ def build_parser() -> argparse.ArgumentParser:
                               "attempt, seconds (default 0)")
     p_serve.add_argument("--max-polls", type=int, default=None,
                          help=argparse.SUPPRESS)
+    p_serve.add_argument("--chaos", metavar="FILE",
+                         help="inject crashes per this ChaosSpec JSON "
+                              "(propagated to every fleet worker; see "
+                              "docs/CHAOS.md)")
+
+    p_svc = sub.add_parser(
+        "service", help="service-directory maintenance (fsck)")
+    svc_sub = p_svc.add_subparsers(dest="service_cmd", required=True)
+    p_verify = svc_sub.add_parser(
+        "verify", help="check service-directory invariants; optionally "
+                       "repair the safely repairable")
+    p_verify.add_argument("--repair", action="store_true",
+                          help="perform the safe repairs (quarantine "
+                               "debris, heal the journal tail, re-queue "
+                               "stranded jobs); never deletes anything")
+    p_verify.add_argument("--dir", metavar="DIR", help=service_dir_help)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="deterministic crash injection and the soak")
+    chaos_sub = p_chaos.add_subparsers(dest="chaos_cmd", required=True)
+    chaos_sub.add_parser(
+        "points", help="list the crash-point catalogue")
+    p_soak = chaos_sub.add_parser(
+        "soak", help="crash/repair/restart rounds against a golden "
+                     "workload; asserts clean verify and byte-identical "
+                     "artifacts")
+    p_soak.add_argument("directory",
+                        help="base directory for golden + round state "
+                             "(each round needs a fresh subdirectory)")
+    p_soak.add_argument("--rounds", type=int, default=3, metavar="N")
+    p_soak.add_argument("--seed", type=int, default=0,
+                        help="base schedule seed (round r uses seed+r)")
+    p_soak.add_argument("--action", choices=["kill", "torn-write",
+                                             "io-error"],
+                        default="kill",
+                        help="action at every applicable crash point "
+                             "(default kill)")
+    p_soak.add_argument("--p", type=float, default=1.0,
+                        help="per-evaluation fire probability")
+    p_soak.add_argument("--max-fires", type=int, default=1,
+                        help="fires per site per round (default 1)")
+    p_soak.add_argument("--spec", metavar="FILE",
+                        help="full ChaosSpec JSON (overrides --action/"
+                             "--p/--max-fires)")
 
     p_submit = sub.add_parser(
         "submit", help="submit a run/sweep/experiment job to the queue")
@@ -700,6 +786,8 @@ def main(argv: list[str] | None = None) -> int:
         "submit": _cmd_submit,
         "status": _cmd_status,
         "fetch": _cmd_fetch,
+        "service": _cmd_service,
+        "chaos": _cmd_chaos,
     }[args.command]
     from .errors import ReproError
 

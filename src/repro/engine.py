@@ -126,9 +126,15 @@ class ExecutionEngine:
         Results come back in spec order, bit-identical to a serial
         run; cache keys are the SHA-256 of each spec's canonical JSON.
         """
+        from .chaos.hooks import get_chaos
         from .platform.resolve import run_cells
 
         with self.session():
+            cz = get_chaos()
+            if cz is not None:
+                # The worker-dies-mid-execution window: claim held,
+                # RUNNING journaled, nothing published yet.
+                cz.on("engine.run")
             return run_cells(list(specs))
 
     def run_spec(self, spec: "RunSpec") -> "RunResult":
@@ -197,8 +203,12 @@ class ExecutionEngine:
         This is the artifact-producing path the service workers share
         with ``repro export``: same engine, same files, same bytes.
         """
+        from .chaos.hooks import get_chaos
         from .experiments.export import export_all
 
         with self.session():
+            cz = get_chaos()
+            if cz is not None:
+                cz.on("engine.run")
             return export_all(directory, ids=ids, fast=fast, seed=seed,
                               engine=self)

@@ -124,3 +124,22 @@ class JournalCorruptionError(ServiceError):
     skipped; corruption anywhere earlier means the journal can no
     longer be trusted as the queue's source of truth.
     """
+
+
+class CrashInjected(BaseException):
+    """A :mod:`repro.chaos` crash point fired with the *kill* action.
+
+    Deliberately **not** a :class:`ReproError`: a simulated crash must
+    behave like ``kill -9`` — it must never be absorbed by the
+    ``except ReproError`` job-failure paths (which would turn a crash
+    into a polite retry and hide exactly the recovery gaps chaos
+    testing exists to find).  Like :class:`KeyboardInterrupt`, it roots
+    in :class:`BaseException` so only code that explicitly expects a
+    crash (the soak harness, worker crash handling) catches it.
+
+    Never raised unless a chaos injector is explicitly installed.
+    """
+
+    def __init__(self, site: str, message: str = "") -> None:
+        self.site = site
+        super().__init__(message or f"chaos: injected crash at {site}")

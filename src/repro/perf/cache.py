@@ -38,6 +38,7 @@ import time
 from typing import TYPE_CHECKING, Optional
 
 from ..analysis.race import get_race_detector
+from ..chaos.hooks import get_chaos
 from ..errors import CacheCorruptionError, ConfigurationError
 
 logger = logging.getLogger(__name__)
@@ -211,12 +212,24 @@ class RunCache:
         entry = {"result": result_to_dict(result)}
         if spec is not None:
             entry["spec"] = spec.to_dict()
+        # Storage payload, not a digest input: the entry's identity is
+        # its file name (the spec hash), so key order here is free.
         payload = json.dumps(entry)
-        # Atomic publish: never expose a half-written entry.
+        data = payload.encode("utf-8")
+        # Atomic publish: never expose a half-written entry.  A crash
+        # mid-write (chaos or real) leaves only a stray ``*.tmp`` —
+        # never a corrupt ``*.json`` — and an injected I/O error is a
+        # silent skip: the cache degrades, correctness is unaffected.
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(payload)
+            try:
+                cz = get_chaos()
+                if cz is None:
+                    os.write(fd, data)
+                else:
+                    cz.write(fd, data, "cache.put")
+            finally:
+                os.close(fd)
             os.replace(tmp, path)
         except OSError:
             try:

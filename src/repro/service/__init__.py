@@ -19,16 +19,21 @@ Layers (bottom up):
 * :mod:`~repro.service.worker` — claim → execute → publish, heartbeat
   and lease-reaping;
 * :mod:`~repro.service.fleet` — ``repro serve`` for one worker or an
-  OS-process fleet.
+  OS-process fleet;
+* :mod:`~repro.service.fsck` — invariant verification and safe repair
+  (``repro service verify [--repair]``).
 
 CLI verbs: ``repro submit``, ``repro serve``, ``repro status``,
-``repro fetch``.  See ``docs/SERVICE.md`` for queue states, lease
-semantics and a crash-recovery walkthrough.
+``repro fetch``, ``repro service verify``.  See ``docs/SERVICE.md``
+for queue states, lease semantics and a crash-recovery walkthrough,
+and ``docs/CHAOS.md`` for the crash-point catalogue this layer is
+soak-tested against.
 """
 
 from __future__ import annotations
 
 from .fleet import serve
+from .fsck import ServiceFsck, verify_service
 from .jobs import JOB_KINDS, JobSpec, job_id_for, load_jobspec
 from .journal import Journal
 from .queue import JobQueue, JobState, JobView, default_service_dir
@@ -41,9 +46,11 @@ __all__ = [
     "JobState",
     "JobView",
     "Journal",
+    "ServiceFsck",
     "Worker",
     "default_service_dir",
     "job_id_for",
     "load_jobspec",
     "serve",
+    "verify_service",
 ]

@@ -16,6 +16,8 @@ import subprocess
 import sys
 from typing import Optional
 
+from ..chaos.hooks import ChaosInjector, chaos_active
+from ..chaos.spec import ChaosSpec
 from ..errors import ConfigurationError
 from ..faults.tolerance import RetryPolicy
 from .queue import JobQueue
@@ -28,22 +30,37 @@ def serve(directory: "str | os.PathLike | None" = None, workers: int = 1,
           drain: bool = False, poll_interval: float = 0.1,
           lease_ticks: int = 50, max_retries: int = 3,
           backoff: float = 0.0,
-          max_polls: Optional[int] = None) -> dict:
+          max_polls: Optional[int] = None,
+          chaos: "str | os.PathLike | None" = None) -> dict:
     """Run a worker (or fleet) against the service directory.
 
     Returns a summary dict; ``{"exit_code": 0}`` on success.  With
     ``drain=True`` every worker exits once the queue is fully
     terminal; otherwise they serve until interrupted.
+
+    ``chaos`` names a :class:`~repro.chaos.ChaosSpec` JSON file: the
+    single-worker shape installs it around the poll loop; a fleet
+    propagates ``--chaos FILE`` to every worker process, so each
+    subprocess realizes the same seeded schedule independently.  A
+    worker dying to a *kill* in ``exit`` mode reports exit status 137,
+    exactly like a real ``kill -9`` — the surviving workers' lease
+    machinery (or ``repro service verify --repair``) recovers the
+    queue.
     """
     if workers < 1:
         raise ConfigurationError("workers must be >= 1")
+    spec = ChaosSpec.load(chaos) if chaos is not None else None
     retry = RetryPolicy(max_retries=max_retries, backoff_base=backoff)
     queue = JobQueue(directory, retry=retry)
     if workers == 1:
         worker = Worker(queue, poll_interval=poll_interval,
                         lease_ticks=lease_ticks, drain=drain,
                         max_polls=max_polls)
-        summary = worker.run()
+        if spec is not None:
+            with chaos_active(ChaosInjector(spec)):
+                summary = worker.run()
+        else:
+            summary = worker.run()
         summary["exit_code"] = 0
         return summary
 
@@ -57,6 +74,8 @@ def serve(directory: "str | os.PathLike | None" = None, workers: int = 1,
         cmd.append("--drain")
     if max_polls is not None:
         cmd += ["--max-polls", str(max_polls)]
+    if chaos is not None:
+        cmd += ["--chaos", str(chaos)]
     procs = [subprocess.Popen(cmd) for _ in range(workers)]
     codes = [p.wait() for p in procs]
     return {

@@ -1,0 +1,463 @@
+"""fsck for the service directory: verify invariants, repair safely.
+
+The journal is the queue's source of truth, but the service directory
+also carries derived state — submission artifacts, claim files, result
+directories, the shared run cache — and a crash (real or injected by
+:mod:`repro.chaos`) can strand any of them out of step with the
+journal.  This module writes the invariants down as code, checks every
+one, and repairs exactly the cases where one repair is provably safe:
+
+==========================  =======================================
+violation                   repair (``--repair``)
+==========================  =======================================
+``journal-torn-tail``       truncate the torn fragment off the
+                            journal; quarantine the bytes
+``journal-corrupt``         none — interior corruption is a real
+                            integrity failure; restore from backup
+``artifact-missing``        none — the submission bytes are gone
+``artifact-corrupt``        none — ditto
+``orphan-artifact``         quarantine the artifact (a crash between
+                            artifact freeze and the submit record)
+``orphan-claim``            quarantine the claim file
+``torn-claim``              quarantine the claim; re-queue the job
+``stale-claim``             quarantine the claim (job already
+                            terminal — crash before claim drop)
+``unjournaled-claim``       quarantine the claim (claim file landed,
+                            claim record never did)
+``lease-epoch-mismatch``    quarantine the claim; re-queue the job
+``lost-lease``              re-queue the job (CLAIMED/RUNNING with
+                            no claim file left to observe)
+``unpublished-result``      append the missing ``done`` record (the
+                            publish rename is atomic, so the result
+                            directory is complete by construction)
+``orphan-result``           quarantine the result directory
+``failed-with-result``      none — reported, left in place
+``missing-result``          none — a DONE job's artifacts are gone
+``stray-workdir``           quarantine the ``*.tmp-*`` directory
+``cache-corrupt``           quarantine the cache entry
+``cache-incoherent``        quarantine the cache entry (embedded
+                            spec no longer hashes to the file name)
+``stray-cache-tmp``         quarantine the ``*.tmp`` file
+==========================  =======================================
+
+Check order matters: results are reconciled *before* claims and
+lost leases, so a crash after the publish rename but before the
+``done`` record repairs to DONE — not to a pointless (if convergent)
+re-execution.
+
+Everything quarantined lands under ``<root>/quarantine/`` with its
+sub-tree preserved; nothing is ever deleted.  The report is canonical
+JSON — byte-stable for identical directory states — and the module
+passes the DET lint with no baseline entries, like the rest of the
+service package.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import JournalCorruptionError, ReproError
+from ..faults.tolerance import RetryPolicy
+from ..obs.export import canonical_json
+from ..obs.metrics import get_metrics
+from ..perf.fingerprint import spec_key
+from .jobs import JobSpec
+from .queue import TERMINAL, JobQueue, JobState
+
+__all__ = ["ServiceFsck", "report_json", "verify_service"]
+
+#: Subdirectory (under the service root) where repairs move evidence.
+QUARANTINE_DIR = "quarantine"
+
+
+@dataclass
+class _Finding:
+    """One invariant violation (and, after ``--repair``, its outcome)."""
+
+    check: str
+    detail: str
+    job: str = ""
+    path: str = ""
+    repairable: bool = False
+    repaired: bool = False
+    repair: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "detail": self.detail,
+            "job": self.job,
+            "path": self.path,
+            "repairable": self.repairable,
+            "repaired": self.repaired,
+            "repair": self.repair,
+        }
+
+
+@dataclass
+class ServiceFsck:
+    """One verify (or verify-and-repair) pass over a service directory.
+
+    Construct with the queue to inspect, call :meth:`run`, read the
+    report.  ``repair=False`` never mutates anything; ``repair=True``
+    performs exactly the safe repairs in the table above.
+    """
+
+    queue: JobQueue
+    repair: bool = False
+    findings: list = field(default_factory=list)
+    checked: dict = field(default_factory=dict)
+
+    # -- entry point --------------------------------------------------
+
+    def run(self) -> dict:
+        root = self.queue.root
+        self.checked = {"journal_records": 0, "jobs": 0, "claims": 0,
+                        "results": 0, "cache_entries": 0}
+        self._check_journal_tail()
+        try:
+            table = self.queue.table()
+        except JournalCorruptionError as exc:
+            self._found("journal-corrupt", str(exc),
+                        path=self._rel(self.queue.journal.path))
+            return self._report(root)
+        self.checked["journal_records"] = len(self.queue.journal)
+        self._check_artifacts(table)
+        self._check_results(table)
+        # Re-fold between phases: each repair group may have appended
+        # records (a 'done' for an unpublished result, a 'retry' for a
+        # quarantined claim), and the next phase must judge the claims
+        # and leases against the *repaired* state, not a stale fold.
+        self._check_claims(self.queue.table())
+        self._check_lost_leases(self.queue.table())
+        self._check_stray_workdirs()
+        self._check_cache()
+        return self._report(root)
+
+    # -- invariants ---------------------------------------------------
+
+    def _check_journal_tail(self) -> None:
+        journal = self.queue.journal
+        try:
+            fd = os.open(journal.path, os.O_RDONLY)
+        except OSError:
+            return  # no journal yet: an empty service dir is clean
+        try:
+            torn = journal.torn_tail_bytes(fd)
+        finally:
+            os.close(fd)
+        if torn == 0:
+            return
+        finding = self._found(
+            "journal-torn-tail",
+            f"journal ends mid-line ({torn} torn bytes — crash "
+            "evidence from an interrupted append)",
+            path=self._rel(journal.path), repairable=True,
+            repair="truncate the fragment; quarantine its bytes")
+        if not self.repair:
+            return
+        fragment = journal.heal_torn_tail()
+        self._write_quarantine("journal.tail", fragment)
+        finding.repaired = True
+
+    def _check_artifacts(self, table: dict) -> None:
+        jobs_dir = self.queue.jobs_dir
+        on_disk = {p.stem: p for p in sorted(jobs_dir.glob("*.json"))}
+        self.checked["jobs"] = len(table)
+        for job_id in sorted(table):
+            path = on_disk.pop(job_id, None)
+            if path is None:
+                self._found(
+                    "artifact-missing",
+                    "journaled job has no submission artifact "
+                    f"(expected {self._rel(jobs_dir / (job_id + '.json'))})",
+                    job=job_id)
+                continue
+            try:
+                JobSpec.from_dict(json.loads(path.read_text()))
+            except (OSError, ValueError, ReproError) as exc:
+                self._found(
+                    "artifact-corrupt",
+                    f"submission artifact unreadable: {exc}",
+                    job=job_id, path=self._rel(path))
+        for job_id in sorted(on_disk):
+            path = on_disk[job_id]
+            finding = self._found(
+                "orphan-artifact",
+                "submission artifact was frozen but its submit record "
+                "never reached the journal (crash at queue.submit)",
+                job=job_id, path=self._rel(path), repairable=True,
+                repair="quarantine the artifact")
+            if self.repair:
+                self._quarantine(path)
+                finding.repaired = True
+
+    def _check_results(self, table: dict) -> None:
+        results_dir = self.queue.results_dir
+        # ``*.tmp-*`` entries are in-flight workdirs, not published
+        # results — they have their own stray-workdir check.
+        dirs = {p.name: p for p in sorted(results_dir.iterdir())
+                if p.is_dir() and ".tmp-" not in p.name} \
+            if results_dir.is_dir() else {}
+        self.checked["results"] = len(dirs)
+        for job_id in sorted(table):
+            view = table[job_id]
+            published = dirs.pop(job_id, None)
+            if view.state is JobState.DONE and published is None:
+                self._found(
+                    "missing-result",
+                    "job is done but its result directory is gone",
+                    job=job_id,
+                    path=self._rel(results_dir / job_id))
+            elif view.state is JobState.FAILED and published is not None:
+                self._found(
+                    "failed-with-result",
+                    "failed job has a published result directory "
+                    "(left in place for post-mortem)",
+                    job=job_id, path=self._rel(published))
+            elif view.state not in TERMINAL and published is not None:
+                finding = self._found(
+                    "unpublished-result",
+                    "result directory is published but the 'done' "
+                    "record never reached the journal (crash at "
+                    "worker.publish.post_rename)",
+                    job=job_id, path=self._rel(published),
+                    repairable=True,
+                    repair="append the missing 'done' record; drop "
+                           "the claim")
+                if self.repair:
+                    self.queue.complete(job_id, view.worker or "fsck",
+                                        max(0, view.attempts - 1))
+                    finding.repaired = True
+        for name in sorted(dirs):
+            finding = self._found(
+                "orphan-result",
+                "result directory names no journaled job",
+                job=name, path=self._rel(dirs[name]), repairable=True,
+                repair="quarantine the directory")
+            if self.repair:
+                self._quarantine(dirs[name])
+                finding.repaired = True
+
+    def _check_claims(self, table: dict) -> None:
+        claims_dir = self.queue.claims_dir
+        paths = sorted(claims_dir.glob("*.claim")) \
+            if claims_dir.is_dir() else []
+        self.checked["claims"] = len(paths)
+        for path in paths:
+            job_id = path.name[:-len(".claim")]
+            view = table.get(job_id)
+            payload = self.queue.read_claim(job_id)
+            if view is None:
+                self._claim_violation(
+                    "orphan-claim", path, job_id,
+                    "claim file names no journaled job")
+            elif payload is None:
+                self._claim_violation(
+                    "torn-claim", path, job_id,
+                    "claim payload is unparseable (crash mid-rewrite "
+                    "at queue.lease_bump)", requeue=view)
+            elif view.state in TERMINAL:
+                self._claim_violation(
+                    "stale-claim", path, job_id,
+                    f"claim file outlived the terminal job "
+                    f"({view.state.value}; crash at queue.complete)")
+            elif view.state in (JobState.QUEUED, JobState.RETRYING):
+                self._claim_violation(
+                    "unjournaled-claim", path, job_id,
+                    "claim file exists but no claim record was "
+                    "journaled (crash at queue.claim)")
+            else:
+                attempt = int(payload.get("attempt", -1))
+                worker = str(payload.get("worker", ""))
+                if attempt != view.attempts - 1 or worker != view.worker:
+                    self._claim_violation(
+                        "lease-epoch-mismatch", path, job_id,
+                        f"claim (worker={worker!r}, attempt={attempt}) "
+                        f"disagrees with the journal (worker="
+                        f"{view.worker!r}, attempt={view.attempts - 1})",
+                        requeue=view)
+
+    def _claim_violation(self, check: str, path: pathlib.Path,
+                         job_id: str, detail: str,
+                         requeue=None) -> None:
+        repair = "quarantine the claim"
+        if requeue is not None:
+            repair += "; re-queue the job"
+        finding = self._found(check, detail, job=job_id,
+                              path=self._rel(path), repairable=True,
+                              repair=repair)
+        if not self.repair:
+            return
+        self._quarantine(path)
+        if requeue is not None:
+            self.queue.requeue(job_id, f"fsck: {check}")
+        finding.repaired = True
+
+    def _check_lost_leases(self, table: dict) -> None:
+        for job_id in sorted(table):
+            view = table[job_id]
+            if view.state not in (JobState.CLAIMED, JobState.RUNNING):
+                continue
+            if self.queue._claim_path(job_id).exists():
+                continue
+            finding = self._found(
+                "lost-lease",
+                f"job is {view.state.value} but its claim file is gone "
+                "(crash at queue.lease_break, or claim quarantined); "
+                "no heartbeat exists for the reaper to observe",
+                job=job_id, repairable=True,
+                repair="re-queue the job (charges the retry budget)")
+            if self.repair:
+                self.queue.requeue(job_id, "fsck: lost-lease")
+                finding.repaired = True
+
+    def _check_stray_workdirs(self) -> None:
+        results_dir = self.queue.results_dir
+        if not results_dir.is_dir():
+            return
+        for path in sorted(results_dir.glob("*.tmp-*")):
+            finding = self._found(
+                "stray-workdir",
+                "abandoned work directory (crash mid-execution or at "
+                "worker.publish.pre_rename)",
+                path=self._rel(path), repairable=True,
+                repair="quarantine the directory")
+            if self.repair:
+                self._quarantine(path)
+                finding.repaired = True
+
+    def _check_cache(self) -> None:
+        cache_dir = self.queue.cache_dir
+        if not cache_dir.is_dir():
+            return
+        for path in sorted(cache_dir.glob("*.tmp")):
+            finding = self._found(
+                "stray-cache-tmp",
+                "abandoned cache write (crash at cache.put)",
+                path=self._rel(path), repairable=True,
+                repair="quarantine the file")
+            if self.repair:
+                self._quarantine(path)
+                finding.repaired = True
+        for path in sorted(cache_dir.glob("*.json")):
+            self.checked["cache_entries"] += 1
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, ValueError) as exc:
+                self._cache_violation(
+                    "cache-corrupt", path,
+                    f"cache entry unreadable: {exc}")
+                continue
+            spec_payload = entry.get("spec") \
+                if isinstance(entry, dict) else None
+            if spec_payload is None:
+                continue  # legacy/self-describing-less entry: no check
+            try:
+                from ..platform.spec import RunSpec
+                key = spec_key(RunSpec.from_dict(spec_payload))
+            except (ReproError, ValueError, TypeError) as exc:
+                self._cache_violation(
+                    "cache-corrupt", path,
+                    f"embedded spec unreadable: {exc}")
+                continue
+            if key != path.stem:
+                self._cache_violation(
+                    "cache-incoherent", path,
+                    f"embedded spec hashes to {key[:12]}…, not the "
+                    "entry's file name — the bytes answer a different "
+                    "question than the address asks")
+
+    def _cache_violation(self, check: str, path: pathlib.Path,
+                         detail: str) -> None:
+        finding = self._found(check, detail, path=self._rel(path),
+                              repairable=True,
+                              repair="quarantine the entry")
+        if self.repair:
+            self._quarantine(path)
+            finding.repaired = True
+
+    # -- plumbing -----------------------------------------------------
+
+    def _found(self, check: str, detail: str, job: str = "",
+               path: str = "", repairable: bool = False,
+               repair: str = "") -> _Finding:
+        finding = _Finding(check=check, detail=detail, job=job,
+                           path=path, repairable=repairable,
+                           repair=repair)
+        self.findings.append(finding)
+        get_metrics().counter("service.fsck.violations", check=check).inc()
+        return finding
+
+    def _rel(self, path: "pathlib.Path | str") -> str:
+        try:
+            return str(pathlib.Path(path).relative_to(self.queue.root))
+        except ValueError:
+            return str(path)
+
+    def _quarantine_target(self, rel: pathlib.PurePath) -> pathlib.Path:
+        qdir = self.queue.root / QUARANTINE_DIR / rel.parent
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / rel.name
+        n = 0
+        while target.exists():
+            n += 1
+            target = qdir / f"{rel.name}.{n}"
+        return target
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move evidence under ``quarantine/`` (sub-tree preserved,
+        numeric suffix on collision); never delete."""
+        rel = pathlib.PurePath(self._rel(path))
+        target = self._quarantine_target(rel)
+        shutil.move(str(path), str(target))
+        get_metrics().counter("service.fsck.repairs").inc()
+
+    def _write_quarantine(self, name: str, data: bytes) -> None:
+        """Quarantine loose bytes (the healed journal fragment)."""
+        target = self._quarantine_target(pathlib.PurePath(name))
+        target.write_bytes(data)
+        get_metrics().counter("service.fsck.repairs").inc()
+
+    def _report(self, root: pathlib.Path) -> dict:
+        violations = [f.to_dict() for f in self.findings]
+        unrepaired = [v for v in violations if not v["repaired"]]
+        return {
+            "root": str(root),
+            "repair": self.repair,
+            "checked": dict(sorted(self.checked.items())),
+            "violations": violations,
+            "repaired": sum(1 for v in violations if v["repaired"]),
+            "unrepaired": len(unrepaired),
+            "clean": not violations,
+            "ok": not unrepaired,
+        }
+
+
+def verify_service(directory: "str | os.PathLike | None" = None,
+                   repair: bool = False,
+                   retry: Optional[RetryPolicy] = None,
+                   durable: bool = True) -> dict:
+    """Verify (and with ``repair=True``, repair) a service directory.
+
+    Returns the fsck report dict; ``report["clean"]`` means no
+    violation was found, ``report["ok"]`` means none is *left* —
+    ``repro service verify`` maps these to exit codes (0 when ok,
+    1 when violations remain).  ``retry`` overrides the re-queue
+    budget repairs charge against (the soak passes a generous one so
+    injected strandings never exhaust a job).
+    """
+    queue = JobQueue(directory, retry=retry, create=False,
+                     durable=durable)
+    report = ServiceFsck(queue=queue, repair=repair).run()
+    return report
+
+
+def report_json(report: dict) -> str:
+    """The canonical-JSON rendering ``repro service verify`` prints."""
+    return canonical_json(report)

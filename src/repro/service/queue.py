@@ -49,6 +49,7 @@ import pathlib
 from dataclasses import dataclass
 from typing import Optional
 
+from ..chaos.hooks import get_chaos
 from ..errors import ClaimConflict, JobNotFoundError, ServiceError
 from ..faults.tolerance import RetryPolicy
 from ..obs.export import canonical_json
@@ -116,7 +117,8 @@ class JobQueue:
     results — everything under one service directory."""
 
     def __init__(self, directory: str | os.PathLike | None = None,
-                 retry: Optional[RetryPolicy] = None) -> None:
+                 retry: Optional[RetryPolicy] = None,
+                 create: bool = True, durable: bool = True) -> None:
         self.root = pathlib.Path(directory) if directory is not None \
             else default_service_dir()
         #: Retry budget and backoff for failed/lost attempts.  The
@@ -128,10 +130,21 @@ class JobQueue:
         self.claims_dir = self.root / "claims"
         self.results_dir = self.root / "results"
         self.cache_dir = self.root / "cache"
-        for sub in (self.root, self.jobs_dir, self.claims_dir,
-                    self.results_dir, self.cache_dir):
-            sub.mkdir(parents=True, exist_ok=True)
-        self.journal = Journal(self.root / "journal.jsonl")
+        if create:
+            for sub in (self.root, self.jobs_dir, self.claims_dir,
+                        self.results_dir, self.cache_dir):
+                try:
+                    sub.mkdir(parents=True, exist_ok=True)
+                except OSError as exc:
+                    raise ServiceError(
+                        f"cannot create service directory {sub}: "
+                        f"{exc}") from exc
+        #: ``durable=False`` skips the per-append journal fsync and the
+        #: post-publish directory fsync (tests only); service paths keep
+        #: the acked-state-survives-kill-9 default.
+        self.durable = durable
+        self.journal = Journal(self.root / "journal.jsonl",
+                               durable=durable)
 
     # -- submission ---------------------------------------------------
 
@@ -157,6 +170,11 @@ class JobQueue:
             finally:
                 os.close(fd)
             break
+        cz = get_chaos()
+        if cz is not None:
+            # Artifact frozen, submit record not yet journaled: a crash
+            # here leaves an orphan jobs/<id>.json nobody was told about.
+            cz.on("queue.submit")
         self.journal.append({"type": "submit", "job": job_id,
                              "kind": jobspec.kind})
         get_metrics().counter("service.submitted").inc()
@@ -258,6 +276,12 @@ class JobQueue:
                 os.write(fd, payload.encode())
             finally:
                 os.close(fd)
+            cz = get_chaos()
+            if cz is not None:
+                # Claim file created, claim record not yet journaled: a
+                # crash here leaves an unjournaled claim blocking the
+                # (still QUEUED) job until fsck or the reaper clears it.
+                cz.on("queue.claim")
             self.journal.append({"type": "claim", "job": job_id,
                                  "worker": worker_id, "attempt": attempt})
             get_metrics().counter("service.claims").inc()
@@ -301,7 +325,14 @@ class JobQueue:
             payload["heartbeat"] = int(payload.get("heartbeat", 0)) + 1
             os.lseek(fd, 0, os.SEEK_SET)
             os.ftruncate(fd, 0)
-            os.write(fd, canonical_json(payload).encode())
+            data = canonical_json(payload).encode()
+            cz = get_chaos()
+            if cz is None:
+                os.write(fd, data)
+            else:
+                # The claim is truncated and mid-rewrite: a torn write
+                # here leaves a claim payload no reader can parse.
+                cz.write(fd, data, "queue.lease_bump")
         finally:
             os.close(fd)
         get_metrics().counter("service.heartbeats").inc()
@@ -350,6 +381,12 @@ class JobQueue:
             os.replace(self._claim_path(job_id), stale)
         except OSError:
             return False
+        cz = get_chaos()
+        if cz is not None:
+            # Claim file stolen, retry/fail record not yet journaled: a
+            # crash here strands the job CLAIMED/RUNNING with no lease
+            # left for anyone to observe — only fsck can re-queue it.
+            cz.on("queue.lease_break")
         get_metrics().counter("service.leases_broken").inc()
         get_metrics().counter("service.attempts_lost").inc()
         self._trace("lease_break", job_id, breaker)
@@ -364,6 +401,11 @@ class JobQueue:
         """Record success and release the claim."""
         self.journal.append({"type": "done", "job": job_id,
                              "worker": worker_id, "attempt": attempt})
+        cz = get_chaos()
+        if cz is not None:
+            # Done journaled, claim not yet dropped: a crash here
+            # leaves a stale claim file on a terminal job.
+            cz.on("queue.complete")
         self._drop_claim(job_id)
         get_metrics().counter("service.jobs_done").inc()
         self._trace("done", job_id, worker_id)
@@ -375,6 +417,22 @@ class JobQueue:
         self._drop_claim(job_id)
         self._trace("attempt_failed", job_id, worker_id)
         self._retry_or_fail(job_id, worker_id, attempt, error)
+
+    def requeue(self, job_id: str, reason: str) -> None:
+        """Re-queue a stranded non-terminal job (fsck's repair verb).
+
+        Charges the lost attempt against the retry budget exactly like
+        a lease break, so a job that keeps getting stranded still dies
+        at the policy's limit instead of looping forever.
+        """
+        view = self.job(job_id)
+        if view.state in TERMINAL:
+            raise ServiceError(
+                f"job {job_id} is {view.state.value}; nothing to re-queue")
+        attempt = max(0, view.attempts - 1)
+        get_metrics().counter("service.attempts_lost").inc()
+        self._trace("requeue", job_id)
+        self._retry_or_fail(job_id, view.worker, attempt, reason)
 
     def _retry_or_fail(self, job_id: str, worker_id: str, attempt: int,
                        error: str) -> None:

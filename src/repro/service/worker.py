@@ -36,8 +36,9 @@ import threading
 import time
 from typing import Optional
 
+from ..chaos.hooks import get_chaos
 from ..engine import ExecutionEngine
-from ..errors import ClaimConflict, ReproError
+from ..errors import ClaimConflict, CrashInjected, ReproError
 from ..obs.export import canonical_json
 from ..obs.metrics import get_metrics
 from ..perf.cache import RunCache, result_to_dict
@@ -45,6 +46,23 @@ from .jobs import JobSpec
 from .queue import TERMINAL, JobQueue
 
 __all__ = ["Worker"]
+
+
+def _fsync_dir(directory: pathlib.Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss
+    (rename atomicity covers crashes, not the directory page still in
+    the page cache).  Filesystems that refuse directory fds are
+    tolerated — the rename is still crash-atomic there."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 class Worker:
@@ -132,34 +150,39 @@ class Worker:
         workdir = self.queue.results_dir / \
             f"{job_id}.tmp-{self.worker_id}-{attempt}"
         try:
-            self._run_jobspec(jobspec, workdir)
-        except ReproError as exc:
+            try:
+                self._run_jobspec(jobspec, workdir)
+            except ReproError as exc:
+                stop.set()
+                beat.join()
+                shutil.rmtree(workdir, ignore_errors=True)
+                if lost.is_set():
+                    self._account_lost()
+                    return
+                self.failed += 1
+                self.queue.fail_attempt(
+                    job_id, self.worker_id, attempt,
+                    error=f"{type(exc).__name__}: {exc}")
+                return
             stop.set()
             beat.join()
-            shutil.rmtree(workdir, ignore_errors=True)
             if lost.is_set():
+                # Presumed dead, actually slow: the re-claimant owns
+                # the job now.  Discard rather than double-publish.
+                shutil.rmtree(workdir, ignore_errors=True)
                 self._account_lost()
                 return
-            self.failed += 1
-            self.queue.fail_attempt(job_id, self.worker_id, attempt,
-                                    error=f"{type(exc).__name__}: {exc}")
-            return
-        except BaseException:
-            # Non-library failure: stop heartbeating and crash — the
-            # fleet's lease machinery re-queues the job.
+            self._publish(job_id, workdir)
+            self.executed += 1
+            self.queue.complete(job_id, self.worker_id, attempt)
+        finally:
+            # Every exit path — engine failure, publish loser discard,
+            # KeyboardInterrupt, injected crash — stops and joins the
+            # heartbeat daemon: no thread outlives run().  (A real
+            # kill -9 needs no join; in-process crashes must not leak
+            # a beater that keeps a dead attempt's lease alive.)
             stop.set()
-            raise
-        stop.set()
-        beat.join()
-        if lost.is_set():
-            # Presumed dead, actually slow: the re-claimant owns the
-            # job now.  Discard rather than double-publish.
-            shutil.rmtree(workdir, ignore_errors=True)
-            self._account_lost()
-            return
-        self._publish(job_id, workdir)
-        self.executed += 1
-        self.queue.complete(job_id, self.worker_id, attempt)
+            beat.join()
 
     def _heartbeat_loop(self, job_id: str, stop: threading.Event,
                         lost: threading.Event) -> None:
@@ -169,6 +192,11 @@ class Worker:
                 self.queue.heartbeat(job_id, self.worker_id)
             except ClaimConflict:
                 lost.set()
+                return
+            except CrashInjected:
+                # In-process stand-in for dying mid-heartbeat: this
+                # beater stops for good, the counter stalls, and the
+                # fleet's lease machinery takes it from there.
                 return
 
     def _run_jobspec(self, jobspec: JobSpec,
@@ -197,10 +225,25 @@ class Worker:
         of a double execution (the target already exists) discards its
         copy — determinism makes both byte-identical anyway."""
         final = self.queue.result_dir(job_id)
+        cz = get_chaos()
+        if cz is not None:
+            # Dying here leaves a stray ``*.tmp-*`` workdir and a
+            # still-CLAIMED job: the lease reaper re-queues it, fsck
+            # quarantines the debris.
+            cz.on("worker.publish.pre_rename")
         try:
             os.rename(workdir, final)
         except OSError:
             shutil.rmtree(workdir, ignore_errors=True)
+            return
+        if self.queue.durable:
+            _fsync_dir(self.queue.results_dir)
+        if cz is not None:
+            # Dying here leaves a published result whose "done" record
+            # never hit the journal — the one crash window fsck can
+            # repair by appending the record (the rename was atomic,
+            # so the result directory is complete by construction).
+            cz.on("worker.publish.post_rename")
 
     def _account_lost(self) -> None:
         self.discarded += 1

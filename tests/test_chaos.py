@@ -1,0 +1,333 @@
+"""repro.chaos: spec round-trips, deterministic schedules, crash-point
+semantics, and a small end-to-end soak round."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.chaos import (
+    ACTIONS,
+    CRASH_POINTS,
+    WRITE_SITES,
+    ChaosInjector,
+    ChaosSpec,
+    SitePolicy,
+    chaos_active,
+    chaos_suspended,
+    get_chaos,
+)
+from repro.chaos.soak import run_soak
+from repro.errors import (
+    ConfigurationError,
+    CrashInjected,
+    JournalCorruptionError,
+    ReproError,
+)
+from repro.platform import RunSpec, get_platform
+from repro.service import JobQueue, JobSpec, JobState, Worker, serve
+from repro.service.fsck import verify_service
+
+
+def _spec(app="Milc", nodes=64, seed=3):
+    return RunSpec(platform=get_platform("ofp-default"), app=app,
+                   n_nodes=nodes, n_runs=2, seed=seed)
+
+
+def _queue(tmp_path, **kwargs):
+    kwargs.setdefault("durable", False)  # keep the test suite fast
+    return JobQueue(tmp_path / "svc", **kwargs)
+
+
+def _worker(queue, **kwargs):
+    kwargs.setdefault("poll_interval", 0.0)
+    kwargs.setdefault("drain", True)
+    kwargs.setdefault("lease_ticks", 3)
+    kwargs.setdefault("max_polls", 50)
+    return Worker(queue, **kwargs)
+
+
+def _one_site(site, action="kill", **kwargs):
+    return ChaosSpec(sites=(SitePolicy(site=site, action=action,
+                                       **kwargs),))
+
+
+# -- spec ---------------------------------------------------------------
+
+
+def test_chaos_spec_round_trips_through_json():
+    spec = ChaosSpec(seed=7, mode="exit", sites=(
+        SitePolicy(site="journal.append", action="torn-write", p=0.5),
+        SitePolicy(site="queue.claim", max_fires=3, skip=2),
+    ))
+    clone = ChaosSpec.from_dict(json.loads(spec.canonical_json()))
+    assert clone == spec
+    assert clone.canonical_json() == spec.canonical_json()
+
+
+def test_chaos_spec_rejects_unknown_site_action_and_fields():
+    with pytest.raises(ConfigurationError, match="unknown crash point"):
+        SitePolicy(site="warp.core")
+    with pytest.raises(ConfigurationError, match="unknown chaos action"):
+        SitePolicy(site="queue.claim", action="explode")
+    with pytest.raises(ConfigurationError, match="unknown field"):
+        ChaosSpec.from_dict({"seed": 0, "sites": [], "surprise": 1})
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        ChaosSpec(sites=(SitePolicy(site="queue.claim"),
+                         SitePolicy(site="queue.claim")))
+
+
+def test_torn_write_rejected_at_control_flow_sites():
+    with pytest.raises(ConfigurationError, match="write site"):
+        SitePolicy(site="queue.claim", action="torn-write")
+    # ... and accepted at write sites.
+    for site in sorted(WRITE_SITES):
+        SitePolicy(site=site, action="torn-write")
+
+
+def test_everywhere_covers_the_catalogue():
+    assert {p.site for p in ChaosSpec.everywhere().sites} \
+        == set(CRASH_POINTS)
+    torn = ChaosSpec.everywhere(action="torn-write")
+    assert {p.site for p in torn.sites} == set(WRITE_SITES)
+    assert set(ACTIONS) == {"kill", "torn-write", "io-error"}
+
+
+# -- injector determinism ----------------------------------------------
+
+
+def test_same_seed_same_schedule():
+    spec = ChaosSpec(seed=42, sites=(
+        SitePolicy(site="queue.claim", p=0.3, max_fires=0),))
+    a = ChaosInjector(spec)
+    b = ChaosInjector(spec)
+    decisions = [(a.decide("queue.claim"), b.decide("queue.claim"))
+                 for _ in range(200)]
+    assert all(x == y for x, y in decisions)
+    assert any(x == "kill" for x, _ in decisions)
+    assert any(x is None for x, _ in decisions)
+
+
+def test_sites_draw_from_independent_streams():
+    """Adding a second policed site never perturbs the first site's
+    decision stream (per-site SeedSequence keys)."""
+    solo = ChaosInjector(_one_site("queue.claim", p=0.3, max_fires=0))
+    both = ChaosInjector(ChaosSpec(sites=(
+        SitePolicy(site="queue.claim", p=0.3, max_fires=0),
+        SitePolicy(site="journal.append", p=0.9, max_fires=0))))
+    for _ in range(100):
+        expected = solo.decide("queue.claim")
+        both.decide("journal.append")  # interleave the other stream
+        assert both.decide("queue.claim") == expected
+
+
+def test_unpoliced_sites_fire_nothing_and_cost_nothing():
+    injector = ChaosInjector(_one_site("queue.claim"))
+    injector.on("journal.append")  # not policed: no draw, no effect
+    assert injector.report()["total_fires"] == 0
+    with pytest.raises(CrashInjected):
+        injector.on("queue.claim")
+
+
+def test_skip_and_max_fires_target_the_kth_passage():
+    injector = ChaosInjector(_one_site("queue.claim", p=1.0, skip=2,
+                                       max_fires=1))
+    assert injector.decide("queue.claim") is None
+    assert injector.decide("queue.claim") is None
+    assert injector.decide("queue.claim") == "kill"
+    assert injector.decide("queue.claim") is None  # max_fires reached
+
+
+def test_get_chaos_is_none_by_default_and_scopes_nest():
+    assert get_chaos() is None
+    outer = ChaosInjector(_one_site("queue.claim"))
+    inner = ChaosInjector(_one_site("journal.append"))
+    with chaos_active(outer):
+        assert get_chaos() is outer
+        with chaos_active(inner):
+            assert get_chaos() is inner
+            with chaos_suspended():
+                assert get_chaos() is None
+            assert get_chaos() is inner
+        assert get_chaos() is outer
+    assert get_chaos() is None
+
+
+def test_crash_injected_is_not_absorbed_by_except_repro_error():
+    """CrashInjected must unwind like SIGKILL: the worker's job-failure
+    handling (``except ReproError``) never sees it."""
+    assert not issubclass(CrashInjected, ReproError)
+    assert not issubclass(CrashInjected, Exception)
+    with pytest.raises(CrashInjected):
+        try:
+            raise CrashInjected("queue.claim")
+        except ReproError:  # pragma: no cover - must not trigger
+            pytest.fail("CrashInjected was absorbed as a ReproError")
+
+
+# -- crash-point semantics ---------------------------------------------
+
+
+def test_kill_at_queue_claim_leaves_unjournaled_claim(tmp_path):
+    queue = _queue(tmp_path)
+    job_id = queue.submit(JobSpec.for_experiment("eq1"))
+    with chaos_active(ChaosInjector(_one_site("queue.claim"))):
+        with pytest.raises(CrashInjected):
+            queue.claim_next("w0")
+    # The exact kill -9 footprint: claim file on disk, journal silent.
+    assert (queue.claims_dir / f"{job_id}.claim").exists()
+    assert queue.job(job_id).state is JobState.QUEUED
+    report = verify_service(queue.root, repair=True)
+    assert [v["check"] for v in report["violations"]] \
+        == ["unjournaled-claim"]
+    assert verify_service(queue.root)["clean"]
+    # Post-repair the job is claimable again and completes normally.
+    assert _worker(queue).run()["executed"] == 1
+    assert queue.job(job_id).state is JobState.DONE
+
+
+def test_kill_at_publish_post_rename_repairs_to_done(tmp_path):
+    queue = _queue(tmp_path)
+    job_id = queue.submit(JobSpec.for_experiment("eq1"))
+    site = "worker.publish.post_rename"
+    with chaos_active(ChaosInjector(_one_site(site))):
+        with pytest.raises(CrashInjected):
+            _worker(queue).run()
+    # Result published, 'done' never journaled.
+    assert queue.result_dir(job_id).is_dir()
+    assert queue.job(job_id).state is not JobState.DONE
+    report = verify_service(queue.root, repair=True)
+    checks = {v["check"] for v in report["violations"]}
+    assert "unpublished-result" in checks
+    assert queue.job(job_id).state is JobState.DONE
+    assert verify_service(queue.root)["clean"]
+    assert queue.result_files(job_id)
+
+
+def test_kill_at_lease_break_strands_job_for_fsck(tmp_path):
+    """A crash between the lease steal and the retry record leaves a
+    CLAIMED job with no claim file — invisible to the reaper, exactly
+    the case fsck's re-queue repair exists for."""
+    queue = _queue(tmp_path)
+    job_id = queue.submit(JobSpec.for_experiment("eq1"))
+    queue.claim_next("w-dead")
+    with chaos_active(ChaosInjector(_one_site("queue.lease_break"))):
+        with pytest.raises(CrashInjected):
+            queue.break_lease(job_id, breaker="w-reaper")
+    assert queue.job(job_id).state is JobState.CLAIMED
+    assert not (queue.claims_dir / f"{job_id}.claim").exists()
+    report = verify_service(queue.root, repair=True)
+    assert [v["check"] for v in report["violations"]] == ["lost-lease"]
+    assert queue.job(job_id).state is JobState.RETRYING
+    assert _worker(queue).run()["executed"] == 1
+
+
+def test_torn_write_at_journal_append_heals(tmp_path):
+    queue = _queue(tmp_path)
+    spec = _one_site("journal.append", action="torn-write", skip=1)
+    with chaos_active(ChaosInjector(spec)):
+        queue.submit(JobSpec.for_experiment("eq1"))
+        with pytest.raises(CrashInjected):
+            queue.submit(JobSpec.for_experiment("eq1", seed=1))
+    # The journal carries a torn line; further appends refuse.
+    with pytest.raises(JournalCorruptionError, match="verify --repair"):
+        queue.journal.append({"type": "submit", "job": "j9"})
+    report = verify_service(queue.root, repair=True)
+    checks = [v["check"] for v in report["violations"]]
+    assert "journal-torn-tail" in checks
+    # The fragment is quarantined, not destroyed.
+    fragments = list((queue.root / "quarantine").glob("journal.tail*"))
+    assert len(fragments) == 1 and fragments[0].read_bytes()
+    assert verify_service(queue.root)["clean"]
+    queue.journal.append({"type": "submit", "job": "j9", "kind": "run"})
+
+
+def test_io_error_at_cache_put_degrades_gracefully(tmp_path):
+    """An injected EIO on the cache write is swallowed by the atomic
+    put: the sweep completes, the entry is simply absent."""
+    queue = _queue(tmp_path)
+    job_id = queue.submit(JobSpec.for_specs([_spec()]))
+    spec = _one_site("cache.put", action="io-error", max_fires=0)
+    with chaos_active(ChaosInjector(spec)):
+        summary = _worker(queue).run()
+    assert summary["executed"] == 1
+    assert queue.job(job_id).state is JobState.DONE
+    assert not list(queue.cache_dir.glob("*.json"))
+    assert verify_service(queue.root)["clean"]
+
+
+def test_chaos_off_run_is_untouched(tmp_path):
+    """No injector installed: the service behaves byte-identically to
+    the pre-chaos code (the zero-overhead-when-off contract)."""
+    assert get_chaos() is None
+    queue = _queue(tmp_path)
+    job_id = queue.submit(JobSpec.for_specs([_spec()]))
+    assert _worker(queue).run()["executed"] == 1
+    assert queue.job(job_id).state is JobState.DONE
+    assert verify_service(queue.root)["clean"]
+
+
+# -- worker shutdown audit ---------------------------------------------
+
+
+def _heartbeat_threads():
+    return [t for t in threading.enumerate()
+            if t.name.startswith("heartbeat-")]
+
+
+def test_no_heartbeat_thread_outlives_worker_run(tmp_path):
+    queue = _queue(tmp_path)
+    queue.submit(JobSpec.for_experiment("eq1"))
+    _worker(queue).run()
+    assert _heartbeat_threads() == []
+
+
+def test_heartbeat_joined_even_when_worker_crashes(tmp_path):
+    """The finally-join audit: an injected crash unwinding out of
+    _execute must still stop and join the heartbeat daemon."""
+    queue = _queue(tmp_path)
+    queue.submit(JobSpec.for_experiment("eq1"))
+    with chaos_active(ChaosInjector(_one_site("engine.run"))):
+        with pytest.raises(CrashInjected):
+            _worker(queue).run()
+    assert _heartbeat_threads() == []
+
+
+# -- serve --chaos and the soak ----------------------------------------
+
+
+def test_serve_chaos_spec_file_round_trip(tmp_path):
+    queue = _queue(tmp_path)
+    job_id = queue.submit(JobSpec.for_experiment("eq1"))
+    chaos_file = tmp_path / "chaos.json"
+    chaos_file.write_text(_one_site("queue.claim").canonical_json())
+    with pytest.raises(CrashInjected):
+        serve(directory=queue.root, drain=True, poll_interval=0.0,
+              chaos=chaos_file)
+    assert get_chaos() is None  # chaos_active unwound with the crash
+    verify_service(queue.root, repair=True)
+    summary = serve(directory=queue.root, drain=True, poll_interval=0.0,
+                    lease_ticks=3)
+    assert summary["exit_code"] == 0
+    assert JobQueue(queue.root).job(job_id).state is JobState.DONE
+
+
+def test_soak_round_converges_and_matches_golden(tmp_path):
+    report = run_soak(tmp_path / "soak", rounds=1, seed=3)
+    assert report["ok"] is True
+    round0 = report["rounds"][0]
+    assert round0["crashes"] > 0
+    assert round0["verify_clean"] is True
+    assert round0["artifact_diffs"] == []
+    assert round0["jobs_done"] == 2
+
+
+def test_soak_report_is_deterministic_for_a_seed(tmp_path):
+    a = run_soak(tmp_path / "a", rounds=1, seed=11)
+    b = run_soak(tmp_path / "b", rounds=1, seed=11)
+    ra, rb = a["rounds"][0], b["rounds"][0]
+    assert ra["chaos"] == rb["chaos"]
+    assert ra["crashes"] == rb["crashes"]
+    assert (ra["ok"], ra["jobs_done"]) == (rb["ok"], rb["jobs_done"])

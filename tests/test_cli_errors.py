@@ -117,6 +117,51 @@ def test_fetch_before_done(tmp_path, run_main):
     assert "not done" in _diagnostic(err)
 
 
+def test_status_on_fresh_service_dir_is_friendly(tmp_path, run_main):
+    """`repro status` against a never-used service dir: a helpful
+    sentence and exit 0 — and no directories scaffolded as a side
+    effect of asking."""
+    svc = tmp_path / "never-used"
+    code, out, _ = run_main(["status", "--dir", str(svc)])
+    assert code == 0
+    assert "no service directory" in out
+    assert "repro submit" in out
+    assert not svc.exists()
+
+
+def test_status_on_empty_existing_service_dir(tmp_path, run_main):
+    svc = tmp_path / "svc"
+    svc.mkdir()
+    code, out, _ = run_main(["status", "--dir", str(svc)])
+    assert code == 0
+    assert "no jobs" in out
+
+
+def test_fetch_on_fresh_service_dir_is_friendly(tmp_path, run_main):
+    svc = tmp_path / "never-used"
+    code, _, err = run_main(
+        ["fetch", "j000000-0000000000", "--dir", str(svc)])
+    assert code == 2
+    assert "no service directory" in _diagnostic(err)
+    assert not svc.exists()
+
+
+def test_service_verify_on_fresh_dir_is_clean(tmp_path, run_main):
+    code, out, _ = run_main(
+        ["service", "verify", "--dir", str(tmp_path / "never-used")])
+    assert code == 0
+    report = json.loads(out)
+    assert report["clean"] is True and report["violations"] == []
+
+
+def test_serve_with_unreadable_chaos_spec(tmp_path, run_main):
+    code, _, err = run_main(
+        ["serve", "--dir", str(tmp_path / "svc"), "--drain",
+         "--chaos", str(tmp_path / "absent-spec.json")])
+    assert code == 2
+    assert "chaos spec" in _diagnostic(err)
+
+
 def test_cache_gc_without_bounds(run_main, tmp_path):
     code, _, err = run_main(
         ["cache", "gc", "--cache-dir", str(tmp_path / "cache")])

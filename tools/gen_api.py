@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.engine",
     "repro.service",
+    "repro.chaos",
     "repro.perf",
     "repro.obs",
     "repro.analysis",
@@ -174,6 +175,16 @@ serial `repro experiment`/`repro export` path for any worker count,
 including after `kill -9` and lease re-claims.  See
 `docs/SERVICE.md` for the state machine, the lease algebra, and a
 crash-recovery walkthrough.
+
+These claims are tested, not asserted: `repro.chaos` threads named
+crash points through the journal, queue, worker and run cache and
+fires them on a deterministic seeded schedule (`ChaosSpec`), while
+`repro service verify [--repair]` replays the journal against the
+on-disk state and checks every invariant the service relies on,
+performing only provably-safe repairs (quarantine / re-queue /
+complete).  `repro chaos soak` composes the two — crash, repair,
+restart, repeat — and accepts nothing short of a clean verify plus
+artifacts byte-identical to the serial path.  See `docs/CHAOS.md`.
 """
 
 
