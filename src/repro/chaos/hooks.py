@@ -59,6 +59,7 @@ CRASH_POINTS = (
     "queue.lease_break",
     "queue.lease_bump",
     "queue.submit",
+    "telemetry.append",
     "worker.publish.post_rename",
     "worker.publish.pre_rename",
 )
@@ -69,6 +70,7 @@ WRITE_SITES = frozenset({
     "cache.put",
     "journal.append",
     "queue.lease_bump",
+    "telemetry.append",
 })
 
 #: Exit status delivered by *kill* in ``exit`` mode — 128 + SIGKILL,

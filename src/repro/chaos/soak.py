@@ -18,8 +18,10 @@ end to end:
    :class:`~repro.engine.ExecutionEngine`, no service layer at all.
 
 A round passes only when the queue drains, the directory verifies
-clean *and* the artifacts are byte-identical to the serial path — the
-acceptance bar for "crash tolerance that actually tolerates crashes".
+clean, every telemetry spool the (telemetry-on) workers wrote reads
+back clean after repair, *and* the artifacts are byte-identical to the
+serial path — the acceptance bar for "crash tolerance that actually
+tolerates crashes".
 Each round re-seeds the schedule (``seed + round``), so ``rounds=N``
 explores N distinct crash interleavings, reproducibly.
 
@@ -41,6 +43,7 @@ from ..errors import ConfigurationError, CrashInjected, ReproError, \
     ServiceError
 from ..faults.tolerance import RetryPolicy
 from ..obs.export import canonical_json
+from ..obs.fleet import FleetAggregator
 from ..perf.cache import result_to_dict
 from ..service.fsck import verify_service
 from ..service.jobs import JobSpec
@@ -178,7 +181,8 @@ def _run_round(svc: pathlib.Path, schedule: ChaosSpec,
                     "crashes); the queue has stopped making progress")
             worker = Worker(queue, worker_id=f"w{worker_runs}",
                             poll_interval=0.0, lease_ticks=lease_ticks,
-                            drain=True, max_polls=max_polls)
+                            drain=True, max_polls=max_polls,
+                            telemetry=True)
             worker_runs += 1
             try:
                 worker.run()
@@ -197,6 +201,15 @@ def _run_round(svc: pathlib.Path, schedule: ChaosSpec,
         final_repair = verify_service(svc, repair=True, retry=SOAK_RETRY)
         repairs += final_repair["repaired"]
         final = verify_service(svc, repair=False)
+        # The workers ran with telemetry on (and chaos could fire on
+        # the spool appends themselves); after repair every surviving
+        # spool must read back clean — the flight recorder has to
+        # survive the crash it records.
+        agg = FleetAggregator(queue)
+        telemetry_clean = all(
+            not s["problems"]["torn_tail"]
+            and not s["problems"]["corrupt_lines"]
+            for s in agg.spools.values())
 
     table = queue.table()
     artifact_diffs: list = []
@@ -215,7 +228,7 @@ def _run_round(svc: pathlib.Path, schedule: ChaosSpec,
         artifact_diffs += [f"{job_id}: {d}" for d in
                            _compare_dirs(queue.result_dir(job_id), golden)]
 
-    ok = final["clean"] and not artifact_diffs
+    ok = final["clean"] and telemetry_clean and not artifact_diffs
     return {
         "service_dir": str(svc),
         "seed": schedule.seed,
@@ -227,5 +240,7 @@ def _run_round(svc: pathlib.Path, schedule: ChaosSpec,
         "verify_violations": [v["check"] for v in final["violations"]],
         "jobs_done": jobs_done,
         "artifact_diffs": artifact_diffs,
+        "telemetry": {"clean": telemetry_clean,
+                      "spools": len(agg.spools)},
         "ok": ok,
     }

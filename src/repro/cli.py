@@ -15,9 +15,12 @@
     python -m repro trace summarize ev.jsonl --top 10
     python -m repro metrics table2 fig5
     python -m repro submit RUN.json | --experiment fig5
-    python -m repro serve --drain [--workers N]
-    python -m repro status [JOB]
+    python -m repro serve --drain [--workers N] [--telemetry]
+    python -m repro status [JOB] [--json]
     python -m repro fetch JOB [--out DIR]
+    python -m repro service verify [--repair]
+    python -m repro service top
+    python -m repro service report [--format json|prom|chrome] [--check]
 
 The CLI is a thin shell over the library; anything it prints can be
 obtained programmatically from :mod:`repro.experiments`,
@@ -352,7 +355,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     drain=args.drain, poll_interval=args.poll,
                     lease_ticks=args.lease_ticks,
                     max_retries=args.max_retries, backoff=args.backoff,
-                    max_polls=args.max_polls, chaos=args.chaos)
+                    max_polls=args.max_polls, chaos=args.chaos,
+                    telemetry=args.telemetry)
     if "worker" in summary:
         print(f"worker {summary['worker']}: {summary['executed']} job(s) "
               f"executed, {summary['failed']} failed, "
@@ -396,6 +400,8 @@ def _cmd_status(args: argparse.Namespace) -> int:
     # Read-only (create=False): asking about an empty service is a
     # question, not a reason to scaffold directories.
     queue = JobQueue(args.dir, create=False)
+    if getattr(args, "json", False):
+        return _status_json(queue, args.job)
     if not args.job and not queue.root.is_dir():
         print(f"no service directory at {queue.root} "
               "(nothing submitted yet — see 'repro submit')")
@@ -426,6 +432,32 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _status_json(queue, job: "str | None") -> int:
+    """``status --json``: the same facts as the text form, as one
+    canonical-JSON document (sorted keys, no whitespace drift — safe
+    to diff across invocations)."""
+    from .obs.export import canonical_json
+    from .service import JobState
+
+    if not job:
+        table = queue.table() if queue.root.is_dir() else {}
+        print(canonical_json(
+            {"jobs": [table[j].to_dict() for j in sorted(table)]}))
+        return 0
+    view = queue.job(job)
+    artifacts = []
+    if view.state is JobState.DONE:
+        base = queue.result_dir(job)
+        artifacts = [str(p.relative_to(base))
+                     for p in queue.result_files(job)]
+    print(canonical_json({
+        "artifacts": artifacts,
+        "claim": queue.read_claim(job),
+        "job": view.to_dict(),
+    }))
+    return 1 if view.state is JobState.FAILED else 0
+
+
 def _cmd_fetch(args: argparse.Namespace) -> int:
     import pathlib
     import shutil
@@ -454,12 +486,40 @@ def _cmd_fetch(args: argparse.Namespace) -> int:
 
 
 def _cmd_service(args: argparse.Namespace) -> int:
-    # service verify [--repair]
-    from .service.fsck import report_json, verify_service
+    if args.service_cmd == "verify":
+        from .service.fsck import report_json, verify_service
 
-    report = verify_service(args.dir, repair=args.repair)
-    print(report_json(report))
-    return 0 if report["ok"] else 1
+        report = verify_service(args.dir, repair=args.repair)
+        print(report_json(report))
+        return 0 if report["ok"] else 1
+    if args.service_cmd == "status":
+        return _cmd_status(args)
+
+    from .obs.fleet import FleetAggregator
+
+    agg = FleetAggregator.from_service_dir(args.dir)
+    if args.service_cmd == "top":
+        print(agg.top())
+        return 0
+
+    # service report [--format json|prom|chrome] [--check [SLO.json]]
+    renders = {"json": agg.report_json, "prom": agg.prometheus,
+               "chrome": agg.chrome}
+    sys.stdout.write(renders[args.format]())
+    if args.check is None:
+        return 0
+    from .obs.fleet import load_slo
+
+    slo = load_slo(args.check) if args.check else None
+    result = agg.check(slo)
+    # The report itself owns stdout (scripts pipe/cmp it); verdicts
+    # are operator-facing commentary, so they go to stderr.
+    for violation in result["violations"]:
+        print(f"SLO violation: {violation}", file=sys.stderr)
+    print("SLO check: " + ("ok" if result["ok"] else
+                           f"{len(result['violations'])} violation(s)"),
+          file=sys.stderr)
+    return 0 if result["ok"] else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -688,9 +748,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="inject crashes per this ChaosSpec JSON "
                               "(propagated to every fleet worker; see "
                               "docs/CHAOS.md)")
+    p_serve.add_argument("--telemetry", action="store_true",
+                         help="spool lifecycle events, trace segments "
+                              "and counter snapshots to telemetry/ "
+                              "(read back with 'repro service top' / "
+                              "'report')")
 
     p_svc = sub.add_parser(
-        "service", help="service-directory maintenance (fsck)")
+        "service", help="service-directory maintenance and health "
+                        "(fsck, top, report)")
     svc_sub = p_svc.add_subparsers(dest="service_cmd", required=True)
     p_verify = svc_sub.add_parser(
         "verify", help="check service-directory invariants; optionally "
@@ -700,6 +766,33 @@ def build_parser() -> argparse.ArgumentParser:
                                "debris, heal the journal tail, re-queue "
                                "stranded jobs); never deletes anything")
     p_verify.add_argument("--dir", metavar="DIR", help=service_dir_help)
+    p_svc_status = svc_sub.add_parser(
+        "status", help="alias for 'repro status' (job table / one job)")
+    p_svc_status.add_argument("job", nargs="?",
+                              help="job id (default: all)")
+    p_svc_status.add_argument("--json", action="store_true",
+                              help="canonical-JSON output (byte-stable; "
+                                   "for scripts)")
+    p_svc_status.add_argument("--dir", metavar="DIR",
+                              help=service_dir_help)
+    p_top = svc_sub.add_parser(
+        "top", help="one-screen fleet health console (queue, goodput, "
+                    "per-worker spools)")
+    p_top.add_argument("--dir", metavar="DIR", help=service_dir_help)
+    p_report = svc_sub.add_parser(
+        "report", help="deterministic fleet report (byte-identical for "
+                       "any worker count); optionally check SLOs")
+    p_report.add_argument("--format", choices=["json", "prom", "chrome"],
+                          default="json",
+                          help="json (canonical report), prom "
+                               "(Prometheus exposition) or chrome "
+                               "(trace-viewer JSON); default json")
+    p_report.add_argument("--check", nargs="?", const="", default=None,
+                          metavar="SLO.json",
+                          help="evaluate SLO rules (default thresholds, "
+                               "or the JSON rule file) and exit 1 on "
+                               "violation; verdicts go to stderr")
+    p_report.add_argument("--dir", metavar="DIR", help=service_dir_help)
 
     p_chaos = sub.add_parser(
         "chaos", help="deterministic crash injection and the soak")
@@ -745,6 +838,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_status = sub.add_parser(
         "status", help="show the job table, or one job's state")
     p_status.add_argument("job", nargs="?", help="job id (default: all)")
+    p_status.add_argument("--json", action="store_true",
+                          help="canonical-JSON output (byte-stable; "
+                               "for scripts)")
     p_status.add_argument("--dir", metavar="DIR", help=service_dir_help)
 
     p_fetch = sub.add_parser(

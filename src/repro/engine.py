@@ -127,6 +127,7 @@ class ExecutionEngine:
         run; cache keys are the SHA-256 of each spec's canonical JSON.
         """
         from .chaos.hooks import get_chaos
+        from .obs.tracer import get_tracer
         from .platform.resolve import run_cells
 
         with self.session():
@@ -135,6 +136,11 @@ class ExecutionEngine:
                 # The worker-dies-mid-execution window: claim held,
                 # RUNNING journaled, nothing published yet.
                 cz.on("engine.run")
+            tracer = get_tracer()
+            if tracer is not None:
+                tracer.event("service", "engine.run",
+                             ts=tracer.advance("service"), actor="engine",
+                             cells=len(specs))
             return run_cells(list(specs))
 
     def run_spec(self, spec: "RunSpec") -> "RunResult":
@@ -205,10 +211,15 @@ class ExecutionEngine:
         """
         from .chaos.hooks import get_chaos
         from .experiments.export import export_all
+        from .obs.tracer import get_tracer
 
         with self.session():
             cz = get_chaos()
             if cz is not None:
                 cz.on("engine.run")
+            tracer = get_tracer()
+            if tracer is not None:
+                tracer.event("service", "engine.run",
+                             ts=tracer.advance("service"), actor="engine")
             return export_all(directory, ids=ids, fast=fast, seed=seed,
                               engine=self)

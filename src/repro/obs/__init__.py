@@ -15,7 +15,11 @@ to the whole simulated system:
 * :mod:`repro.obs.attribution` — :class:`NoiseAttribution`, the ranked
   interference-actor report, now spanning every layer;
 * :mod:`repro.obs.runtrace` — :func:`trace_experiment`, the engine of
-  ``repro trace run``.
+  ``repro trace run``;
+* :mod:`repro.obs.spool` — :class:`TelemetrySpool`, the per-worker
+  durable flight recorder behind ``repro serve --telemetry``;
+* :mod:`repro.obs.fleet` — :class:`FleetAggregator`, the deterministic
+  fold of journal + spools behind ``repro service top`` / ``report``.
 
 Instrumentation hooks live in the instrumented modules themselves
 (ftrace, CFS scheduler, IKC, proxy, LWK syscalls, batch scheduler,
@@ -42,15 +46,20 @@ from .metrics import (
     MetricsRegistry,
     get_metrics,
 )
+from .spool import TelemetrySpool, read_spool, spool_dir
 from .tracer import LAYERS, TraceSpan, Tracer, get_tracer, tracing
 
 #: Lazily imported (PEP 562): these submodules reach back into the
-#: instrumented packages (kernel, experiments), and the hooks there
-#: import ``repro.obs.tracer`` — eager imports here would be a cycle.
+#: instrumented packages (kernel, experiments, service), and the hooks
+#: there import ``repro.obs.tracer`` — eager imports here would be a
+#: cycle.
 _LAZY = {
+    "DEFAULT_SLO": "fleet",
+    "FleetAggregator": "fleet",
     "NoiseAttribution": "attribution",
     "TracedRun": "runtrace",
     "capture_node_slice": "runtrace",
+    "load_slo": "fleet",
     "trace_experiment": "runtrace",
 }
 
@@ -66,12 +75,15 @@ def __getattr__(name: str):
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_SLO",
+    "FleetAggregator",
     "Gauge",
     "Histogram",
     "LAYERS",
     "MetricsRegistry",
     "NoiseAttribution",
     "TRACE_FORMAT_VERSION",
+    "TelemetrySpool",
     "TraceSpan",
     "TracedRun",
     "Tracer",
@@ -82,7 +94,10 @@ __all__ = [
     "get_metrics",
     "get_tracer",
     "jsonl_lines",
+    "load_slo",
     "prometheus_text",
+    "read_spool",
+    "spool_dir",
     "trace_experiment",
     "tracing",
     "validate_chrome_trace",

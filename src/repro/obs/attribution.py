@@ -66,6 +66,9 @@ class NoiseAttribution:
                 except json.JSONDecodeError as exc:
                     raise ConfigurationError(
                         f"{path}:{lineno}: not JSON ({exc})") from None
+                if isinstance(ev, dict) and "layer" not in ev \
+                        and "obs_dropped_total" in ev:
+                    continue  # the ring-overflow trailer, not an event
                 try:
                     attr.record(ev["layer"], ev.get("actor") or ev["name"],
                                 float(ev.get("dur", 0.0)) / 1e6)

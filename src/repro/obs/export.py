@@ -71,6 +71,14 @@ def chrome_trace(tracer: Tracer, metadata: dict | None = None) -> dict:
         "ph": "M", "pid": 1, "tid": 0, "name": "process_name",
         "args": {"name": "repro"},
     })
+    if tracer.dropped:
+        # Ring overflow is loss of evidence: surface it as a metadata
+        # event (in addition to otherData.droppedEvents) so viewers
+        # and downstream tooling can't miss it.
+        events.append({
+            "ph": "M", "pid": 1, "tid": 0, "name": "obs_dropped_total",
+            "args": {"value": tracer.dropped},
+        })
     recorded = sorted(tracer.events,
                       key=lambda ev: (ev.layer, ev.ts, ev.seq))
     for ev in recorded:
@@ -115,13 +123,21 @@ def write_chrome_trace(tracer: Tracer, path: str,
 
 
 def jsonl_lines(tracer: Tracer) -> Iterator[str]:
-    """One canonical JSON object per event, in ``(ts, seq)`` order."""
+    """One canonical JSON object per event, in ``(ts, seq)`` order.
+
+    A tracer that overflowed its ring additionally yields a trailer
+    object carrying ``obs_dropped_total`` — the event stream must not
+    read as complete when it is not.  Consumers key on ``layer`` to
+    tell events from the trailer.
+    """
     for ev in sorted(tracer.events, key=lambda e: (e.ts, e.seq)):
         yield _canon_json({
             "layer": ev.layer, "name": ev.name, "ts": _us(ev.ts),
             "dur": _us(ev.duration), "actor": ev.actor, "args": ev.args,
             "seq": ev.seq,
         })
+    if tracer.dropped:
+        yield _canon_json({"obs_dropped_total": tracer.dropped})
 
 
 def write_jsonl(tracer: Tracer, path: str) -> str:
@@ -133,13 +149,16 @@ def write_jsonl(tracer: Tracer, path: str) -> str:
 
 
 def prometheus_text(registry: "MetricsRegistry",
-                    prefix: str = "repro") -> str:
+                    prefix: str = "repro",
+                    tracer: "Tracer | None" = None) -> str:
     """The registry in Prometheus exposition format.
 
     Metric names are sanitized (``.`` → ``_``) and prefixed; series are
     emitted in sorted order, so the dump is deterministic for a given
     registry state.  Wall-clock timings surface as
-    ``<prefix>_timing_seconds{name="..."}``.
+    ``<prefix>_timing_seconds{name="..."}``.  Passing a ``tracer``
+    additionally emits ``<prefix>_obs_dropped_total`` — its ring
+    overflow counter, so silent trace truncation has a metric.
     """
     def name_of(key) -> str:
         base = key[0].replace(".", "_").replace("-", "_")
@@ -187,6 +206,9 @@ def prometheus_text(registry: "MetricsRegistry",
         type_line(f"{prefix}_timing_seconds", "gauge")
         lines.append(f"{prefix}_timing_seconds{{name=\"{name}\"}} "
                      f"{registry.timings[name]:.6f}")
+    if tracer is not None:
+        type_line(f"{prefix}_obs_dropped_total", "counter")
+        lines.append(f"{prefix}_obs_dropped_total {tracer.dropped}")
     return "\n".join(lines) + "\n" if lines else ""
 
 

@@ -21,10 +21,18 @@ Layers (bottom up):
 * :mod:`~repro.service.fleet` — ``repro serve`` for one worker or an
   OS-process fleet;
 * :mod:`~repro.service.fsck` — invariant verification and safe repair
-  (``repro service verify [--repair]``).
+  (``repro service verify [--repair]``), including telemetry-spool
+  healing and quarantine.
 
-CLI verbs: ``repro submit``, ``repro serve``, ``repro status``,
-``repro fetch``, ``repro service verify``.  See ``docs/SERVICE.md``
+Fleet telemetry rides on top: ``repro serve --telemetry`` gives every
+worker a durable :class:`~repro.obs.spool.TelemetrySpool`, and
+:class:`~repro.obs.fleet.FleetAggregator` folds journal + spools into
+the health console (``repro service top``) and the deterministic
+fleet report (``repro service report [--check]``).
+
+CLI verbs: ``repro submit``, ``repro serve``, ``repro status
+[--json]``, ``repro fetch``, ``repro service verify``, ``repro
+service top``, ``repro service report``.  See ``docs/SERVICE.md``
 for queue states, lease semantics and a crash-recovery walkthrough,
 and ``docs/CHAOS.md`` for the crash-point catalogue this layer is
 soak-tested against.

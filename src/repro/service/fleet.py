@@ -31,7 +31,8 @@ def serve(directory: "str | os.PathLike | None" = None, workers: int = 1,
           lease_ticks: int = 50, max_retries: int = 3,
           backoff: float = 0.0,
           max_polls: Optional[int] = None,
-          chaos: "str | os.PathLike | None" = None) -> dict:
+          chaos: "str | os.PathLike | None" = None,
+          telemetry: bool = False) -> dict:
     """Run a worker (or fleet) against the service directory.
 
     Returns a summary dict; ``{"exit_code": 0}`` on success.  With
@@ -46,6 +47,10 @@ def serve(directory: "str | os.PathLike | None" = None, workers: int = 1,
     exactly like a real ``kill -9`` — the surviving workers' lease
     machinery (or ``repro service verify --repair``) recovers the
     queue.
+
+    ``telemetry=True`` gives every worker a durable spool under
+    ``<dir>/telemetry/`` (propagated as ``--telemetry`` to fleet
+    subprocesses); ``repro service top`` / ``report`` aggregate them.
     """
     if workers < 1:
         raise ConfigurationError("workers must be >= 1")
@@ -55,7 +60,7 @@ def serve(directory: "str | os.PathLike | None" = None, workers: int = 1,
     if workers == 1:
         worker = Worker(queue, poll_interval=poll_interval,
                         lease_ticks=lease_ticks, drain=drain,
-                        max_polls=max_polls)
+                        max_polls=max_polls, telemetry=telemetry)
         if spec is not None:
             with chaos_active(ChaosInjector(spec)):
                 summary = worker.run()
@@ -76,6 +81,8 @@ def serve(directory: "str | os.PathLike | None" = None, workers: int = 1,
         cmd += ["--max-polls", str(max_polls)]
     if chaos is not None:
         cmd += ["--chaos", str(chaos)]
+    if telemetry:
+        cmd.append("--telemetry")
     procs = [subprocess.Popen(cmd) for _ in range(workers)]
     codes = [p.wait() for p in procs]
     return {

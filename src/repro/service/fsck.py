@@ -38,6 +38,11 @@ violation                   repair (``--repair``)
 ``cache-incoherent``        quarantine the cache entry (embedded
                             spec no longer hashes to the file name)
 ``stray-cache-tmp``         quarantine the ``*.tmp`` file
+``telemetry-torn-tail``     truncate the torn fragment off the
+                            spool; quarantine the bytes
+``telemetry-corrupt``       quarantine the whole spool (interior
+                            lines unparseable — telemetry is
+                            evidence, never load-bearing state)
 ==========================  =======================================
 
 Check order matters: results are reconciled *before* claims and
@@ -65,8 +70,10 @@ from ..errors import JournalCorruptionError, ReproError
 from ..faults.tolerance import RetryPolicy
 from ..obs.export import canonical_json
 from ..obs.metrics import get_metrics
+from ..obs.spool import read_spool, spool_dir
 from ..perf.fingerprint import spec_key
 from .jobs import JobSpec
+from .journal import Journal
 from .queue import TERMINAL, JobQueue, JobState
 
 __all__ = ["ServiceFsck", "report_json", "verify_service"]
@@ -118,7 +125,8 @@ class ServiceFsck:
     def run(self) -> dict:
         root = self.queue.root
         self.checked = {"journal_records": 0, "jobs": 0, "claims": 0,
-                        "results": 0, "cache_entries": 0}
+                        "results": 0, "cache_entries": 0,
+                        "telemetry_spools": 0}
         self._check_journal_tail()
         try:
             table = self.queue.table()
@@ -137,6 +145,7 @@ class ServiceFsck:
         self._check_lost_leases(self.queue.table())
         self._check_stray_workdirs()
         self._check_cache()
+        self._check_telemetry()
         return self._report(root)
 
     # -- invariants ---------------------------------------------------
@@ -381,6 +390,52 @@ class ServiceFsck:
         if self.repair:
             self._quarantine(path)
             finding.repaired = True
+
+    def _check_telemetry(self) -> None:
+        """Telemetry spools are evidence, never load-bearing state, so
+        every repair is safe: a torn tail (worker died mid-append) is
+        truncated with the fragment quarantined, and a spool with
+        unparseable *interior* lines is quarantined whole — the
+        aggregator must never fold half-trusted records."""
+        tdir = spool_dir(self.queue.root)
+        if not tdir.is_dir():
+            return
+        for path in sorted(tdir.glob("*.jsonl")):
+            self.checked["telemetry_spools"] += 1
+            try:
+                fd = os.open(path, os.O_RDONLY)
+            except OSError:
+                continue
+            try:
+                torn = Journal.torn_tail_bytes(fd)
+            finally:
+                os.close(fd)
+            if torn:
+                finding = self._found(
+                    "telemetry-torn-tail",
+                    f"spool ends mid-line ({torn} torn bytes — the "
+                    "worker died mid-append)",
+                    path=self._rel(path), repairable=True,
+                    repair="truncate the fragment; quarantine its bytes")
+                if self.repair:
+                    fragment = Journal(
+                        path, durable=self.queue.durable).heal_torn_tail()
+                    self._write_quarantine(
+                        f"telemetry/{path.name}.tail", fragment)
+                    finding.repaired = True
+                else:
+                    continue  # unread tail would also count as corrupt
+            _, problems = read_spool(path)
+            if problems["corrupt_lines"]:
+                finding = self._found(
+                    "telemetry-corrupt",
+                    f"{problems['corrupt_lines']} interior line(s) "
+                    "unparseable — the spool cannot be trusted",
+                    path=self._rel(path), repairable=True,
+                    repair="quarantine the spool")
+                if self.repair:
+                    self._quarantine(path)
+                    finding.repaired = True
 
     # -- plumbing -----------------------------------------------------
 

@@ -145,6 +145,10 @@ class JobQueue:
         self.durable = durable
         self.journal = Journal(self.root / "journal.jsonl",
                                durable=durable)
+        #: Optional :class:`~repro.obs.spool.TelemetrySpool` the owning
+        #: worker attaches; ``None`` (the default) keeps every queue
+        #: path byte-identical to the telemetry-less service.
+        self.telemetry = None
 
     # -- submission ---------------------------------------------------
 
@@ -480,3 +484,6 @@ class JobQueue:
         if tracer is not None:
             tracer.event("service", name, ts=tracer.advance("service"),
                          actor=worker_id or "queue", job=job_id)
+        spool = self.telemetry
+        if spool is not None:
+            spool.event(name, job=job_id, worker=worker_id)

@@ -41,6 +41,8 @@ from ..engine import ExecutionEngine
 from ..errors import ClaimConflict, CrashInjected, ReproError
 from ..obs.export import canonical_json
 from ..obs.metrics import get_metrics
+from ..obs.spool import TelemetrySpool, spool_dir
+from ..obs.tracer import tracing
 from ..perf.cache import RunCache, result_to_dict
 from .jobs import JobSpec
 from .queue import TERMINAL, JobQueue
@@ -77,7 +79,7 @@ class Worker:
     def __init__(self, queue: JobQueue, worker_id: str = "",
                  poll_interval: float = 0.1, lease_ticks: int = 50,
                  drain: bool = False, max_polls: Optional[int] = None,
-                 use_cache: bool = True) -> None:
+                 use_cache: bool = True, telemetry: bool = False) -> None:
         self.queue = queue
         self.worker_id = worker_id or f"w{os.getpid()}"
         self.poll_interval = max(0.0, float(poll_interval))
@@ -85,6 +87,14 @@ class Worker:
         self.drain = drain
         self.max_polls = max_polls
         self._cache = RunCache(queue.cache_dir) if use_cache else None
+        #: The flight recorder (``--telemetry``): lifecycle events,
+        #: trace segments and counter snapshots spooled durably to
+        #: ``telemetry/<worker-id>.jsonl``.  Off by default — the
+        #: telemetry-less paths stay byte-identical.
+        self.spool = TelemetrySpool(
+            spool_dir(queue.root) / f"{self.worker_id}.jsonl",
+            source=self.worker_id,
+            durable=queue.durable) if telemetry else None
         #: job id -> [(attempt, heartbeat) signature, stalled polls]
         self._observations: dict[str, list] = {}
         #: Run summary (also the :meth:`run` return value).
@@ -97,7 +107,32 @@ class Worker:
 
     def run(self) -> dict:
         """Poll until drained (``drain=True``), ``max_polls`` idle
-        polls elapse, or forever.  Returns the summary dict."""
+        polls elapse, or forever.  Returns the summary dict.
+
+        With telemetry on, the queue's lifecycle transitions spool
+        through this worker while the loop runs, and a clean exit
+        appends a final counter snapshot plus ``worker.exit``.  A
+        crash mid-loop appends nothing further — the spool then reads
+        exactly like the flight recorder of a process that died, which
+        is the point.
+        """
+        if self.spool is not None:
+            self.queue.telemetry = self.spool
+            self.spool.event("worker.start", worker=self.worker_id,
+                             lease_ticks=self.lease_ticks)
+        try:
+            summary = self._poll_loop()
+        finally:
+            if self.queue.telemetry is self.spool:
+                self.queue.telemetry = None
+        if self.spool is not None:
+            self.spool.metrics({"depth": self.queue.depth(),
+                                **{k: v for k, v in summary.items()
+                                   if k != "worker"}})
+            self.spool.event("worker.exit", worker=self.worker_id)
+        return summary
+
+    def _poll_loop(self) -> dict:
         idle_polls = 0
         while True:
             claimed = self.queue.claim_next(self.worker_id)
@@ -151,7 +186,7 @@ class Worker:
             f"{job_id}.tmp-{self.worker_id}-{attempt}"
         try:
             try:
-                self._run_jobspec(jobspec, workdir)
+                self._traced_run(job_id, jobspec, workdir)
             except ReproError as exc:
                 stop.set()
                 beat.join()
@@ -198,6 +233,19 @@ class Worker:
                 # beater stops for good, the counter stalls, and the
                 # fleet's lease machinery takes it from there.
                 return
+
+    def _traced_run(self, job_id: str, jobspec: JobSpec,
+                    workdir: pathlib.Path) -> None:
+        """Execute the job; with telemetry on, under a job-scoped
+        tracer whose per-layer summary is spooled as a trace segment
+        (results are identical either way — the tracer only observes)."""
+        if self.spool is None:
+            self._run_jobspec(jobspec, workdir)
+            return
+        with tracing() as tracer:
+            self._run_jobspec(jobspec, workdir)
+        self.spool.segment(job=job_id, layers=tracer.layer_counts(),
+                           events=len(tracer), dropped=tracer.dropped)
 
     def _run_jobspec(self, jobspec: JobSpec,
                      workdir: pathlib.Path) -> None:

@@ -133,6 +133,91 @@ def test_prometheus_text_format():
     assert prometheus_text(MetricsRegistry()) == ""
 
 
+def test_prometheus_histogram_edge_cases_byte_exact():
+    """Empty, single-bucket, and +Inf-cumulative histograms against
+    golden exposition text — the format PR 9's fleet report cmp's."""
+    empty = MetricsRegistry()
+    empty.histogram("h", buckets=(1.0,))
+    assert prometheus_text(empty) == (
+        "# TYPE repro_h histogram\n"
+        'repro_h_bucket{le="1.0"} 0\n'
+        'repro_h_bucket{le="+Inf"} 0\n'
+        "repro_h_sum 0\n"
+        "repro_h_count 0\n")
+
+    single = MetricsRegistry()
+    single.histogram("h", buckets=(1.0,)).observe(0.5)
+    assert prometheus_text(single) == (
+        "# TYPE repro_h histogram\n"
+        'repro_h_bucket{le="1.0"} 1\n'
+        'repro_h_bucket{le="+Inf"} 1\n'
+        "repro_h_sum 0.5\n"
+        "repro_h_count 1\n")
+
+    # An observation above every finite bucket lands only in +Inf,
+    # and the +Inf count is the total count (cumulative contract).
+    overflow = MetricsRegistry()
+    h = overflow.histogram("h", buckets=(1.0, 10.0))
+    h.observe(0.5)
+    h.observe(100.0)
+    assert prometheus_text(overflow) == (
+        "# TYPE repro_h histogram\n"
+        'repro_h_bucket{le="1.0"} 1\n'
+        'repro_h_bucket{le="10.0"} 1\n'
+        'repro_h_bucket{le="+Inf"} 2\n'
+        "repro_h_sum 100.5\n"
+        "repro_h_count 2\n")
+
+
+def overflowed_tracer() -> Tracer:
+    t = Tracer(buffer_size=2)
+    for i in range(5):
+        t.event("kernel", f"e{i}", ts=float(i))
+    assert t.dropped == 3
+    return t
+
+
+def test_ring_overflow_is_visible_in_every_exporter():
+    """Satellite: a tracer that dropped events must say so in every
+    export — silent truncation reads as 'covered everything'."""
+    t = overflowed_tracer()
+    obj = chrome_trace(t)
+    [marker] = [e for e in obj["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "obs_dropped_total"]
+    assert marker["args"]["value"] == 3
+    ensure_valid_chrome_trace(obj)  # the metadata marker stays valid
+
+    lines = list(jsonl_lines(t))
+    trailer = json.loads(lines[-1])
+    assert trailer == {"obs_dropped_total": 3}
+    assert all("layer" in json.loads(line) for line in lines[:-1])
+
+    text = prometheus_text(MetricsRegistry(), tracer=t)
+    assert "# TYPE repro_obs_dropped_total counter" in text
+    assert "repro_obs_dropped_total 3" in text
+
+
+def test_no_overflow_means_no_drop_marker_anywhere():
+    """Default-off byte-compat: a clean tracer exports exactly the
+    pre-telemetry bytes — no marker event, no trailer line."""
+    t = sample_tracer()
+    assert t.dropped == 0
+    names = [e["name"] for e in chrome_trace(t)["traceEvents"]]
+    assert "obs_dropped_total" not in names
+    assert all("layer" in json.loads(line) for line in jsonl_lines(t))
+    assert prometheus_text(MetricsRegistry(), tracer=None) == ""
+
+
+def test_attribution_skips_the_drop_trailer(tmp_path):
+    from repro.obs.attribution import NoiseAttribution
+
+    path = write_jsonl(overflowed_tracer(), str(tmp_path / "t.jsonl"))
+    attribution = NoiseAttribution.from_jsonl(path)
+    recorded = sum(s.count for actors in attribution.by_layer.values()
+                   for s in actors.values())
+    assert recorded == 2  # the trailer is skipped, not an event
+
+
 def test_prometheus_text_is_deterministic():
     def build():
         m = MetricsRegistry()

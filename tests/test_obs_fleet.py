@@ -1,0 +1,245 @@
+"""repro.obs.fleet: the deterministic fleet report, its exports, the
+forensic rollups, SLO evaluation, and the health console.
+
+The acceptance bar: ``FleetAggregator.report()`` (and its chrome/prom
+renderings) is byte-identical for 1..N workers and across re-runs of
+the same submission sequence — telemetry held to the same
+reproducibility standard as the artifacts it describes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.obs.export import ensure_valid_chrome_trace
+from repro.obs.fleet import DEFAULT_SLO, FleetAggregator, load_slo
+from repro.platform import RunSpec, get_platform
+from repro.service import JobQueue, JobSpec, Worker, serve
+
+
+def _spec(app="Milc", nodes=64, seed=3):
+    return RunSpec(platform=get_platform("ofp-default"), app=app,
+                   n_nodes=nodes, n_runs=2, seed=seed)
+
+
+def _jobspecs():
+    return [JobSpec.for_specs([_spec(nodes=n)]) for n in (16, 32)]
+
+
+def _drain_one_worker(root):
+    queue = JobQueue(root)
+    for jobspec in _jobspecs():
+        queue.submit(jobspec)
+    Worker(queue, poll_interval=0.0, drain=True, telemetry=True).run()
+    return queue
+
+
+@pytest.fixture
+def drained(tmp_path):
+    return _drain_one_worker(tmp_path / "svc")
+
+
+# -- the deterministic core ---------------------------------------------
+
+
+def test_report_shape_and_artifact_manifest(drained):
+    report = FleetAggregator(drained).report()
+    assert report["formatVersion"] == 1
+    assert report["totals"] == {
+        "artifact_bytes": report["totals"]["artifact_bytes"],
+        "artifact_files": 2,
+        "by_state": {"done": 2},
+        "jobs": 2,
+    }
+    for job in report["jobs"]:
+        assert [s["name"] for s in job["spans"]] == \
+            ["submit", "claim", "run", "done"]
+        assert [s["lc"] for s in job["spans"]] == [0, 1, 2, 3]
+        [artifact] = job["artifacts"]
+        assert artifact["path"] == "results.json"
+        assert len(artifact["sha256"]) == 64
+        path = drained.result_dir(job["job"]) / artifact["path"]
+        assert artifact["bytes"] == len(path.read_bytes())
+
+
+def test_report_is_byte_identical_across_worker_counts_and_reruns(
+        tmp_path):
+    """1 in-process worker vs a 2-process fleet vs a fresh re-run:
+    same submissions, same report bytes, all three formats."""
+    one = FleetAggregator(_drain_one_worker(tmp_path / "one"))
+
+    fleet_root = tmp_path / "fleet"
+    fleet_queue = JobQueue(fleet_root)
+    for jobspec in _jobspecs():
+        fleet_queue.submit(jobspec)
+    summary = serve(fleet_root, workers=2, drain=True,
+                    poll_interval=0.01, lease_ticks=200, telemetry=True)
+    assert summary["exit_code"] == 0, summary
+    fleet = FleetAggregator(fleet_queue)
+
+    rerun = FleetAggregator(_drain_one_worker(tmp_path / "rerun"))
+
+    assert one.report_json() == fleet.report_json() == rerun.report_json()
+    assert one.chrome() == fleet.chrome() == rerun.chrome()
+    assert one.prometheus() == fleet.prometheus() == rerun.prometheus()
+    # ... and aggregating the same directory twice is stable.
+    assert one.report_json() == \
+        FleetAggregator(JobQueue(tmp_path / "one")).report_json()
+
+
+def test_chrome_export_is_a_valid_trace_on_the_service_layer(drained):
+    obj = json.loads(FleetAggregator(drained).chrome())
+    ensure_valid_chrome_trace(obj)
+    events = [e for e in obj["traceEvents"] if e["ph"] != "M"]
+    assert all(e["cat"] == "service" for e in events)
+    assert [e["name"] for e in events] == \
+        ["submit", "claim", "run", "done"] * 2
+    assert obj["otherData"]["source"] == "repro service report"
+
+
+def test_prometheus_export_carries_fleet_gauges(drained):
+    text = FleetAggregator(drained).prometheus()
+    assert 'repro_service_fleet_jobs{state="done"} 2' in text
+    assert "repro_service_fleet_artifact_files 2" in text
+    # Ring overflow is surfaced even when zero: the fleet asserts
+    # visibility, not absence.
+    assert "repro_obs_dropped_total 0" in text
+
+
+# -- rollups ------------------------------------------------------------
+
+
+def test_rollups_count_retries_lease_breaks_and_goodput(tmp_path):
+    queue = JobQueue(tmp_path / "svc")
+    job_id = queue.submit(JobSpec.for_experiment("eq1"))
+    queue.claim_next("w1")
+    queue.break_lease(job_id, breaker="w2")      # claim 1 -> lease break
+    queue.claim_next("w2")                       # claim 2
+    queue.complete(job_id, "w2", 1)              # done
+    r = FleetAggregator(queue).rollups()
+    assert r["submits"] == 1 and r["claims"] == 2 and r["dones"] == 1
+    assert r["retries"] == 1 and r["lease_breaks"] == 1
+    assert r["goodput"] == 0.5 and r["retry_rate"] == 0.5
+    assert r["max_queue_depth"] == 1
+    assert r["telemetry"] == {"corrupt_lines": 0, "spools": 0,
+                              "torn_tails": 0}
+
+
+def test_rollups_report_per_worker_spool_stats(drained):
+    r = FleetAggregator(drained).rollups()
+    assert r["telemetry"]["spools"] == 1
+    [worker] = r["workers"].values()
+    assert worker["events"] >= 2 and worker["segments"] == 2
+    assert worker["snapshots"] == 1
+    assert not worker["torn_tail"] and worker["corrupt_lines"] == 0
+
+
+# -- SLO evaluation -----------------------------------------------------
+
+
+def test_check_passes_a_clean_run_and_flags_a_thrashing_one(tmp_path,
+                                                            drained):
+    clean = FleetAggregator(drained).check()
+    assert clean["ok"] and clean["violations"] == []
+    assert clean["rules"] == dict(sorted(DEFAULT_SLO.items()))
+
+    queue = JobQueue(tmp_path / "thrash")
+    job_id = queue.submit(JobSpec.for_experiment("eq1"))
+    for attempt in range(3):
+        queue.claim_next(f"w{attempt}")
+        queue.break_lease(job_id, breaker="wx")
+    queue.claim_next("w9")
+    queue.complete(job_id, "w9", 3)
+    result = FleetAggregator(queue).check()
+    assert not result["ok"]
+    assert any("retry_rate" in v for v in result["violations"])
+    assert any("goodput" in v for v in result["violations"])
+    # A loosened rule file waves the same run through.
+    relaxed = FleetAggregator(queue).check(
+        {"max_retry_rate": 1.0, "min_goodput": 0.1})
+    assert relaxed["ok"], relaxed
+
+
+def test_check_rejects_unknown_rules(drained):
+    with pytest.raises(ConfigurationError, match="unknown SLO rule"):
+        FleetAggregator(drained).check({"max_sadness": 1})
+
+
+def test_load_slo_validates_the_rule_file(tmp_path):
+    path = tmp_path / "slo.json"
+    path.write_text('{"min_goodput": 0.9}')
+    assert load_slo(path) == {"min_goodput": 0.9}
+    with pytest.raises(ConfigurationError, match="cannot read"):
+        load_slo(tmp_path / "absent.json")
+    path.write_text("{not json")
+    with pytest.raises(ConfigurationError, match="invalid JSON"):
+        load_slo(path)
+    path.write_text("[1, 2]")
+    with pytest.raises(ConfigurationError, match="JSON object"):
+        load_slo(path)
+    path.write_text('{"max_sadness": 1}')
+    with pytest.raises(ConfigurationError, match="unknown rule"):
+        load_slo(path)
+    path.write_text('{"min_goodput": true}')
+    with pytest.raises(ConfigurationError, match="must be a number"):
+        load_slo(path)
+
+
+# -- the console and CLI ------------------------------------------------
+
+
+def test_top_renders_queue_health_and_spools(drained):
+    top = FleetAggregator(drained).top()
+    assert "2 submitted, 2 done, 0 failed" in top
+    assert "goodput=1.00" in top
+    assert "telemetry: 1 spool(s), 0 torn tail(s)" in top
+    for job_id in drained.table():
+        assert job_id in top
+
+
+def test_top_handles_an_empty_service(tmp_path):
+    queue = JobQueue(tmp_path / "svc")
+    top = FleetAggregator(queue).top()
+    assert "(no jobs)" in top and "0 spool(s)" in top
+
+
+def test_from_service_dir_requires_an_existing_directory(tmp_path):
+    with pytest.raises(ServiceError, match="no service directory"):
+        FleetAggregator.from_service_dir(tmp_path / "nope")
+
+
+def test_cli_report_formats_check_and_top(tmp_path, capsys):
+    from repro.cli import main
+
+    svc = str(tmp_path / "svc")
+    _drain_one_worker(svc)
+
+    assert main(["service", "report", "--dir", svc]) == 0
+    report = capsys.readouterr().out
+    assert report == FleetAggregator(JobQueue(svc)).report_json()
+
+    assert main(["service", "report", "--dir", svc, "--format",
+                 "chrome"]) == 0
+    ensure_valid_chrome_trace(json.loads(capsys.readouterr().out))
+
+    assert main(["service", "report", "--dir", svc, "--format",
+                 "prom"]) == 0
+    assert "repro_service_fleet_jobs" in capsys.readouterr().out
+
+    # --check on a clean run: report on stdout, verdict on stderr.
+    assert main(["service", "report", "--dir", svc, "--check"]) == 0
+    out, err = capsys.readouterr()
+    assert out == report and "SLO check: ok" in err
+
+    slo = tmp_path / "slo.json"
+    slo.write_text('{"min_goodput": 2.0}')
+    assert main(["service", "report", "--dir", svc, "--check",
+                 str(slo)]) == 1
+    out, err = capsys.readouterr()
+    assert "SLO violation: goodput" in err
+
+    assert main(["service", "top", "--dir", svc]) == 0
+    assert "goodput=1.00" in capsys.readouterr().out

@@ -533,6 +533,53 @@ def test_cli_status_reports_failed_jobs_nonzero(tmp_path, capsys):
     assert "failed" in out and "fig99" in out
 
 
+def test_cli_status_json_round_trips_and_is_byte_stable(tmp_path,
+                                                        capsys):
+    """Satellite: --json output parses, carries the table, and two
+    invocations over unchanged state produce identical bytes."""
+    from repro.cli import main
+
+    svc = str(tmp_path / "svc")
+    queue = JobQueue(svc)
+    job_id = queue.submit(JobSpec.for_experiment("eq1"))
+    _fast_worker(queue).run()
+
+    assert main(["status", "--dir", svc, "--json"]) == 0
+    first = capsys.readouterr().out
+    payload = json.loads(first)
+    assert [j["job_id"] for j in payload["jobs"]] == [job_id]
+    assert payload["jobs"][0]["state"] == "done"
+    assert main(["status", "--dir", svc, "--json"]) == 0
+    assert capsys.readouterr().out == first  # byte-stable
+
+    assert main(["status", job_id, "--dir", svc, "--json"]) == 0
+    detail = json.loads(capsys.readouterr().out)
+    assert detail["job"]["state"] == "done"
+    assert detail["claim"] is None
+    assert detail["artifacts"] == ["eq1.json", "eq1.txt"]
+
+    # `service status` is the same command under the service verb.
+    assert main(["service", "status", "--dir", svc, "--json"]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_cli_status_json_empty_service_and_failed_job(tmp_path, capsys):
+    from repro.cli import main
+
+    svc = str(tmp_path / "svc")
+    assert main(["status", "--dir", svc, "--json"]) == 0
+    assert json.loads(capsys.readouterr().out) == {"jobs": []}
+
+    queue = JobQueue(svc, retry=RetryPolicy(max_retries=0,
+                                            backoff_base=0.0))
+    job_id = queue.submit(JobSpec.for_experiment("fig99"))
+    _fast_worker(queue).run()
+    assert main(["status", job_id, "--dir", svc, "--json"]) == 1
+    detail = json.loads(capsys.readouterr().out)
+    assert detail["job"]["state"] == "failed"
+    assert detail["artifacts"] == []
+
+
 def test_module_entrypoint_serves(tmp_path):
     """`python -m repro serve` is what fleet workers exec — keep it
     working."""
