@@ -12,15 +12,29 @@ Two instruments, one subsystem:
   (:mod:`repro.analysis.race`, :mod:`repro.analysis.runrace`) — a
   lockdep-style ordering/ownership/coherence checker over the
   simulation's own shared resources (IKC rings, memcg accounting,
-  runqueues, the run cache), fed by tracer-style ambient hooks.
+  runqueues, the run cache), fed by tracer-style ambient hooks;
+* the **crash-consistency analyzer**
+  (:mod:`repro.analysis.crashsafe`, CC001–CC009 on the per-function
+  CFG layer in :mod:`repro.analysis.cfg`) — durability-idiom
+  dataflow, chaos-catalogue coherence, crash-absorption and
+  resource-release checks, journal-fold coverage.
 
-CLI: ``repro analyze lint [paths...]`` and ``repro analyze race
+CLI: ``repro analyze lint [paths...]``, ``repro analyze crash
+[paths...]``, ``repro analyze rules`` and ``repro analyze race
 <experiment>``; the ``repro-lint`` console script is the same gate CI
-runs.  See ``docs/ANALYSIS.md`` for the rule catalog and report
+runs.  See ``docs/ANALYSIS.md`` for the rule catalogs and report
 formats.
 """
 
 from .baseline import DEFAULT_BASELINE_PATH, Baseline, BaselineEntry
+from .cfg import CFG, build_cfg, function_cfgs
+from .crashsafe import (
+    CC_RULES,
+    DEFAULT_CRASH_BASELINE_PATH,
+    CrashReport,
+    crash_report,
+    run_crash,
+)
 from .linter import LintReport, lint_paths
 from .race import (
     RaceDetector,
@@ -28,19 +42,28 @@ from .race import (
     detecting,
     get_race_detector,
 )
-from .rules import RULES, Finding, LintRule
+from .rules import ALL_RULES_BY_ID, RULES, Finding, LintRule
 
 __all__ = [
+    "ALL_RULES_BY_ID",
     "Baseline",
     "BaselineEntry",
+    "CC_RULES",
+    "CFG",
+    "CrashReport",
     "DEFAULT_BASELINE_PATH",
+    "DEFAULT_CRASH_BASELINE_PATH",
     "Finding",
     "LintReport",
     "LintRule",
     "RULES",
     "RaceDetector",
     "RaceViolation",
+    "build_cfg",
+    "crash_report",
     "detecting",
+    "function_cfgs",
     "get_race_detector",
     "lint_paths",
+    "run_crash",
 ]

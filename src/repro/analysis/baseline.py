@@ -21,7 +21,7 @@ import pathlib
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
-from .rules import RULES_BY_ID, Finding
+from .rules import ALL_RULES_BY_ID, Finding
 
 __all__ = ["BaselineEntry", "Baseline", "DEFAULT_BASELINE_PATH"]
 
@@ -49,9 +49,13 @@ class Baseline:
     """A set of suppressions plus bookkeeping of which ones matched."""
 
     def __init__(self, entries: list[BaselineEntry],
-                 source: str = "<memory>") -> None:
+                 source: str = "<memory>",
+                 extra: dict | None = None) -> None:
         self.source = source
         self.entries = list(entries)
+        #: Non-``entries`` payload keys (e.g. a ``comment``), preserved
+        #: verbatim when the file is rewritten by ``--prune-baseline``.
+        self.extra = dict(extra or {})
         self._by_key = {}
         for entry in self.entries:
             if entry.key() in self._by_key:
@@ -79,7 +83,7 @@ class Baseline:
             if missing:
                 raise ConfigurationError(
                     f"baseline {path}: entry {i} missing {missing}")
-            if raw["rule"] not in RULES_BY_ID:
+            if raw["rule"] not in ALL_RULES_BY_ID:
                 raise ConfigurationError(
                     f"baseline {path}: entry {i} names unknown rule "
                     f"{raw['rule']!r}")
@@ -87,7 +91,8 @@ class Baseline:
                 rule=raw["rule"], path=raw["path"], scope=raw["scope"],
                 snippet=raw["snippet"],
                 justification=raw["justification"]))
-        return cls(entries, source=str(path))
+        extra = {k: v for k, v in payload.items() if k != "entries"}
+        return cls(entries, source=str(path), extra=extra)
 
     def suppresses(self, finding: Finding) -> bool:
         entry = self._by_key.get(finding.key())
@@ -100,3 +105,22 @@ class Baseline:
         """Entries that matched no finding this run (candidates for
         removal — the offending code was fixed or moved)."""
         return [e for e in self.entries if e.key() not in self._used]
+
+    def write_pruned(self, path: "str | pathlib.Path | None" = None
+                     ) -> int:
+        """Rewrite the baseline file keeping only entries that matched
+        a finding this run; returns the number of entries dropped.
+        Non-entry payload keys are preserved verbatim.  Only meaningful
+        after a lint run has exercised :meth:`suppresses`."""
+        target = pathlib.Path(path) if path is not None \
+            else pathlib.Path(self.source)
+        stale = {e.key() for e in self.stale_entries()}
+        keep = [e for e in self.entries if e.key() not in stale]
+        payload = dict(self.extra)
+        payload["entries"] = [
+            {"rule": e.rule, "path": e.path, "scope": e.scope,
+             "snippet": e.snippet, "justification": e.justification}
+            for e in keep]
+        target.write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+        return len(stale)

@@ -1,0 +1,470 @@
+"""Lightweight per-function control-flow graphs for the analyzers.
+
+The crash-consistency rules (:mod:`repro.analysis.crashsafe`) need
+path-sensitive answers the plain AST walk of the determinism sanitizer
+cannot give: *does the fsync dominate the rename on every path?*,
+*is the descriptor closed on every way out of the function, including
+the exceptional ones?*  This module builds a statement-level CFG per
+function — small, conservative, and honest about exceptions — and
+answers those questions with classic dominator math plus set-cut
+reachability.
+
+Design points:
+
+* **Statement granularity.**  One node per simple statement; branch
+  heads (``if``/``while``/``for`` tests) get their own node.  Synthetic
+  ``ENTRY``/``EXIT`` nodes bracket the function.
+* **Exception edges are explicit and separate.**  A statement that can
+  raise (it contains a call, ``raise`` or ``assert``) gets *exception*
+  edges to the innermost enclosing handlers, then through every
+  enclosing ``finally`` out to ``EXIT``.  Normal and exceptional
+  successors are kept in separate maps so queries can anchor on "the
+  statement completed" (its normal successors) while reachability
+  still walks both kinds.
+* **``finally`` bodies are cloned.**  The normal-completion path and
+  the exceptional pass-through get separate copies of the ``finally``
+  body.  Without the split, the exceptional entry would merge into the
+  normal continuation and manufacture paths like *write raised → close
+  → replace* that the program cannot take — exactly the false positive
+  that would make the fsync-dominates-rename rule useless.
+* **Assumed-true conditions.**  ``build_cfg(..., assume_true=
+  ("durable",))`` prunes the false edge of any ``if`` whose test is a
+  bare name/attribute ending in an assumed name (``if self.durable:``).
+  The durability rules check the ``durable=True`` configuration; the
+  non-durable escape hatch is deliberate and out of scope.
+
+Dominance queries come in two shapes: the classic single-node
+:meth:`CFG.dominates`/:meth:`CFG.postdominates`, and the set-cut form
+:meth:`CFG.always_passes_through` (no path from ``start`` to ``EXIT``
+avoids the cut set) / :meth:`CFG.cut_dominates` (no path from ``ENTRY``
+to ``target`` avoids the cut set), which is what "an ``os.fsync`` must
+dominate the rename" and "some ``os.close`` must postdominate the
+open" actually mean when the idiom has more than one sanctioned call
+site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["CFG", "build_cfg", "function_cfgs"]
+
+
+def _mentions_assumed(test: ast.AST, assume_true: Sequence[str]) -> bool:
+    """True when ``test`` is a bare name/attribute chain whose final
+    component is one of the assumed-true names (``durable``,
+    ``self.durable``, ``self.queue.durable``).  Anything with operators
+    (``not durable``, comparisons) is deliberately not matched — the
+    pruning must never invert a negated test."""
+    node = test
+    while isinstance(node, ast.Attribute):
+        if node.attr in assume_true:
+            return True
+        node = node.value
+    return isinstance(node, ast.Name) and node.id in assume_true
+
+
+def _can_raise(node: ast.AST) -> bool:
+    """Conservative may-raise test: calls, ``raise`` and ``assert``."""
+    return any(isinstance(sub, (ast.Call, ast.Raise, ast.Assert))
+               for sub in ast.walk(node))
+
+
+class _Frame:
+    """One enclosing ``try`` during the build: its live handler entry
+    nodes and, when a ``finally`` exists, the entry node of the
+    *exceptional* clone of the finally body."""
+
+    def __init__(self, handler_entries: "list[int]",
+                 exc_finally_entry: "Optional[int]") -> None:
+        self.handler_entries = handler_entries
+        self.exc_finally_entry = exc_finally_entry
+
+
+class CFG:
+    """A built control-flow graph; query-only after construction."""
+
+    def __init__(self) -> None:
+        self.entry = 0
+        self.exit = 1
+        #: node id -> AST node (or a str label for synthetic nodes).
+        self.label: dict[int, object] = {self.entry: "<entry>",
+                                         self.exit: "<exit>"}
+        self.succ: dict[int, set[int]] = {self.entry: set(),
+                                          self.exit: set()}
+        self.exc_succ: dict[int, set[int]] = {self.entry: set(),
+                                              self.exit: set()}
+        #: ast statement (identity-keyed) -> every node carrying it
+        #: (finally bodies are cloned, so one statement can own
+        #: several nodes).
+        self._stmt_nodes: "dict[ast.AST, list[int]]" = {}
+        #: Nodes that live inside a ``finally`` clone.  Release-style
+        #: queries may ignore exception edges *originating* here: an
+        #: exception raised by the cleanup sequence itself (a double
+        #: fault) is out of scope for "released on every path".
+        self.cleanup_nodes: set[int] = set()
+
+    # -- structure accessors ------------------------------------------
+
+    def nodes(self) -> "list[int]":
+        return sorted(self.succ)
+
+    def nodes_for(self, stmt: ast.AST) -> "list[int]":
+        """Every CFG node carrying ``stmt`` (clones included)."""
+        return list(self._stmt_nodes.get(stmt, []))
+
+    def normal_successors(self, node: int) -> "set[int]":
+        return set(self.succ.get(node, ()))
+
+    def all_successors(self, node: int) -> "set[int]":
+        return self.succ.get(node, set()) | self.exc_succ.get(node, set())
+
+    # -- reachability and cuts ----------------------------------------
+
+    def _reachable(self, starts: Iterable[int],
+                   removed: "frozenset[int]",
+                   ignore_cleanup_exc: bool = False) -> "set[int]":
+        seen: set[int] = set()
+        stack = [s for s in starts if s not in removed]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            nxts = set(self.succ.get(node, ()))
+            if not (ignore_cleanup_exc and node in self.cleanup_nodes):
+                nxts |= self.exc_succ.get(node, set())
+            for nxt in nxts:
+                if nxt not in removed and nxt not in seen:
+                    stack.append(nxt)
+        return seen
+
+    def always_passes_through(self, starts: Iterable[int],
+                              cut: Iterable[int],
+                              ignore_cleanup_exc: bool = False) -> bool:
+        """No path from any of ``starts`` to ``EXIT`` avoids every node
+        in ``cut`` (generalized postdominance by a set).  With
+        ``ignore_cleanup_exc`` paths that require the cleanup sequence
+        itself to raise (exception edges out of ``finally`` clones)
+        don't count."""
+        removed = frozenset(cut)
+        starts = list(starts)
+        if not starts:
+            return True
+        return self.exit not in self._reachable(
+            starts, removed, ignore_cleanup_exc=ignore_cleanup_exc)
+
+    def cut_dominates(self, cut: Iterable[int], target: int) -> bool:
+        """Every path from ``ENTRY`` to ``target`` passes through some
+        node in ``cut`` (generalized dominance by a set)."""
+        removed = frozenset(cut)
+        if target in removed:
+            return True
+        return target not in self._reachable([self.entry], removed)
+
+    # -- classic dominators -------------------------------------------
+
+    def _dominator_map(self, reverse: bool) -> "dict[int, frozenset[int]]":
+        nodes = self.nodes()
+        if reverse:
+            root = self.exit
+            edges: dict[int, set[int]] = {n: set() for n in nodes}
+            for src in nodes:
+                for dst in self.all_successors(src):
+                    edges.setdefault(dst, set()).add(src)
+        else:
+            root = self.entry
+            edges = {n: set(self.all_successors(n)) for n in nodes}
+        preds: dict[int, set[int]] = {n: set() for n in nodes}
+        for src in nodes:
+            for dst in edges.get(src, ()):
+                preds[dst].add(src)
+        universe = frozenset(nodes)
+        dom = {n: universe for n in nodes}
+        dom[root] = frozenset([root])
+        changed = True
+        while changed:
+            changed = False
+            for node in nodes:
+                if node == root:
+                    continue
+                incoming = [dom[p] for p in preds[node]]
+                if incoming:
+                    new = frozenset.intersection(*incoming) | {node}
+                else:
+                    new = frozenset([node])  # unreachable from root
+                if new != dom[node]:
+                    dom[node] = new
+                    changed = True
+        return dom
+
+    def dominators(self) -> "dict[int, frozenset[int]]":
+        """node -> the set of nodes dominating it (itself included)."""
+        return self._dominator_map(reverse=False)
+
+    def postdominators(self) -> "dict[int, frozenset[int]]":
+        return self._dominator_map(reverse=True)
+
+    def dominates(self, a: int, b: int) -> bool:
+        return a in self.dominators()[b]
+
+    def postdominates(self, a: int, b: int) -> bool:
+        return a in self.postdominators()[b]
+
+
+class _Builder:
+    def __init__(self, assume_true: Sequence[str]) -> None:
+        self.cfg = CFG()
+        self.assume_true = tuple(assume_true)
+        self._next_id = 2
+        #: innermost-last stack of enclosing try frames.
+        self._frames: "list[_Frame]" = []
+        #: innermost-last stack of (break_collector, continue_target).
+        self._loops: "list[tuple[list[int], int]]" = []
+        #: >0 while building ``finally`` bodies — their nodes are
+        #: recorded as cleanup nodes (see CFG.cleanup_nodes).
+        self._cleanup_depth = 0
+
+    # -- graph primitives ---------------------------------------------
+
+    def _new_node(self, label: object) -> int:
+        node = self._next_id
+        self._next_id += 1
+        self.cfg.label[node] = label
+        self.cfg.succ[node] = set()
+        self.cfg.exc_succ[node] = set()
+        if isinstance(label, ast.AST):
+            self.cfg._stmt_nodes.setdefault(label, []).append(node)
+        if self._cleanup_depth:
+            self.cfg.cleanup_nodes.add(node)
+        return node
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.cfg.succ[src].add(dst)
+
+    def _exc_edge(self, src: int, dst: int) -> None:
+        self.cfg.exc_succ[src].add(dst)
+
+    def _connect(self, frontier: Iterable[int], dst: int) -> None:
+        for src in frontier:
+            self._edge(src, dst)
+
+    # -- exception routing --------------------------------------------
+
+    def _exc_targets(self, depth: Optional[int] = None) -> "list[int]":
+        """Where an exception raised under the top ``depth`` frames
+        lands: every live handler walking outward, stopping at the
+        first ``finally`` (whose exceptional clone continues the
+        propagation itself); ``EXIT`` when nothing encloses."""
+        frames = self._frames if depth is None else self._frames[:depth]
+        targets: list[int] = []
+        for frame in reversed(frames):
+            targets.extend(frame.handler_entries)
+            if frame.exc_finally_entry is not None:
+                targets.append(frame.exc_finally_entry)
+                return targets
+        targets.append(self.cfg.exit)
+        return targets
+
+    def _wire_raise(self, node: int) -> None:
+        for target in self._exc_targets():
+            self._exc_edge(node, target)
+
+    def _abrupt_exit_targets(self) -> "list[int]":
+        """Where ``return`` lands: through the innermost ``finally``
+        (its exceptional clone — conservative: the clone also reaches
+        outer handlers) or straight to ``EXIT``."""
+        for frame in reversed(self._frames):
+            if frame.exc_finally_entry is not None:
+                return [frame.exc_finally_entry]
+        return [self.cfg.exit]
+
+    # -- statement builders -------------------------------------------
+
+    def build_function(self, func: ast.AST) -> CFG:
+        frontier = self._build_block(list(func.body), [self.cfg.entry])
+        self._connect(frontier, self.cfg.exit)
+        return self.cfg
+
+    def _build_block(self, stmts: "list[ast.stmt]",
+                     frontier: "list[int]") -> "list[int]":
+        for stmt in stmts:
+            frontier = self._build_stmt(stmt, frontier)
+        return frontier
+
+    def _build_stmt(self, stmt: ast.stmt,
+                    frontier: "list[int]") -> "list[int]":
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, frontier)
+        if isinstance(stmt, (ast.While,)):
+            return self._build_while(stmt, frontier)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._build_for(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            node = self._new_node(stmt)
+            self._connect(frontier, node)
+            if stmt.value is not None and _can_raise(stmt.value):
+                self._wire_raise(node)
+            for target in self._abrupt_exit_targets():
+                self._edge(node, target)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._new_node(stmt)
+            self._connect(frontier, node)
+            self._wire_raise(node)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._new_node(stmt)
+            self._connect(frontier, node)
+            if self._loops:
+                self._loops[-1][0].append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._new_node(stmt)
+            self._connect(frontier, node)
+            if self._loops:
+                self._edge(node, self._loops[-1][1])
+            return []
+        # Simple statement (nested def/class definitions included:
+        # their bodies are separate CFGs, the definition is one step).
+        node = self._new_node(stmt)
+        self._connect(frontier, node)
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)) and _can_raise(stmt):
+            self._wire_raise(node)
+        return [node]
+
+    def _build_if(self, stmt: ast.If,
+                  frontier: "list[int]") -> "list[int]":
+        test = self._new_node(stmt)
+        self._connect(frontier, test)
+        if _can_raise(stmt.test):
+            self._wire_raise(test)
+        then_frontier = self._build_block(stmt.body, [test])
+        assumed = _mentions_assumed(stmt.test, self.assume_true) or (
+            isinstance(stmt.test, ast.Constant) and stmt.test.value is True)
+        if stmt.orelse:
+            else_frontier = self._build_block(stmt.orelse, [test])
+            return then_frontier + ([] if assumed else else_frontier)
+        return then_frontier + ([] if assumed else [test])
+
+    def _build_while(self, stmt: ast.While,
+                     frontier: "list[int]") -> "list[int]":
+        test = self._new_node(stmt)
+        self._connect(frontier, test)
+        if _can_raise(stmt.test):
+            self._wire_raise(test)
+        breaks: list[int] = []
+        self._loops.append((breaks, test))
+        try:
+            body_frontier = self._build_block(stmt.body, [test])
+        finally:
+            self._loops.pop()
+        self._connect(body_frontier, test)
+        forever = (isinstance(stmt.test, ast.Constant)
+                   and stmt.test.value is True)
+        out = list(breaks) + ([] if forever else [test])
+        if stmt.orelse:
+            out = self._build_block(stmt.orelse, out or [test]) + breaks
+        return out
+
+    def _build_for(self, stmt, frontier: "list[int]") -> "list[int]":
+        head = self._new_node(stmt)
+        self._connect(frontier, head)
+        if _can_raise(stmt.iter):
+            self._wire_raise(head)
+        breaks: list[int] = []
+        self._loops.append((breaks, head))
+        try:
+            body_frontier = self._build_block(stmt.body, [head])
+        finally:
+            self._loops.pop()
+        self._connect(body_frontier, head)
+        out = list(breaks) + [head]
+        if stmt.orelse:
+            out = self._build_block(stmt.orelse, [head]) + breaks
+        return out
+
+    def _build_with(self, stmt, frontier: "list[int]") -> "list[int]":
+        head = self._new_node(stmt)
+        self._connect(frontier, head)
+        if any(_can_raise(item.context_expr) for item in stmt.items):
+            self._wire_raise(head)
+        return self._build_block(stmt.body, [head])
+
+    def _build_try(self, stmt: ast.Try,
+                   frontier: "list[int]") -> "list[int]":
+        # Handler entry nodes are the handlers themselves; the
+        # exceptional finally clone (when a finalbody exists) is built
+        # eagerly so inner raises can route through it, and its
+        # frontier continues the propagation outward.
+        handler_entries = [self._new_node(h) for h in stmt.handlers]
+        exc_finally_entry: Optional[int] = None
+        if stmt.finalbody:
+            exc_finally_entry = self._new_node("<finally:exceptional>")
+            outer_targets = self._exc_targets()
+            self._cleanup_depth += 1
+            try:
+                clone_frontier = self._build_block(
+                    list(stmt.finalbody), [exc_finally_entry])
+            finally:
+                self._cleanup_depth -= 1
+            for node in clone_frontier:
+                for target in outer_targets:
+                    self._exc_edge(node, target)
+
+        frame = _Frame(handler_entries, exc_finally_entry)
+        self._frames.append(frame)
+        try:
+            body_frontier = self._build_block(list(stmt.body),
+                                              list(frontier))
+            if stmt.orelse:
+                body_frontier = self._build_block(stmt.orelse,
+                                                  body_frontier)
+        finally:
+            self._frames.pop()
+
+        # Handler bodies: their own raises go outward (the handlers of
+        # this try are no longer live), but still through this try's
+        # finally.
+        self._frames.append(_Frame([], exc_finally_entry))
+        try:
+            after: list[int] = list(body_frontier)
+            for handler, entry in zip(stmt.handlers, handler_entries):
+                after.extend(self._build_block(list(handler.body),
+                                               [entry]))
+        finally:
+            self._frames.pop()
+
+        if stmt.finalbody:
+            normal_entry = self._new_node("<finally:normal>")
+            self._connect(after, normal_entry)
+            self._cleanup_depth += 1
+            try:
+                return self._build_block(list(stmt.finalbody),
+                                         [normal_entry])
+            finally:
+                self._cleanup_depth -= 1
+        return after
+
+
+def build_cfg(func: ast.AST,
+              assume_true: Sequence[str] = ()) -> CFG:
+    """The CFG of one ``FunctionDef``/``AsyncFunctionDef``."""
+    return _Builder(assume_true).build_function(func)
+
+
+def function_cfgs(tree: ast.AST, assume_true: Sequence[str] = ()
+                  ) -> "list[tuple[ast.AST, CFG]]":
+    """Every function in ``tree`` (methods and nested defs included)
+    paired with its CFG, in source order."""
+    out = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append((node, build_cfg(node, assume_true=assume_true)))
+    return out

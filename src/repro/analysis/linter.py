@@ -138,6 +138,39 @@ def rule_catalog() -> str:
     return "\n".join(lines)
 
 
+def all_rules() -> "list":
+    """Every registered rule (DET + CC), sorted by id.  Importing the
+    crashsafe module here (lazily — it imports this module) is what
+    registers the CC family when callers enter via the linter alone."""
+    from . import crashsafe  # noqa: F401  (registers CC_RULES)
+    from .rules import ALL_RULES_BY_ID
+    return [ALL_RULES_BY_ID[rid] for rid in sorted(ALL_RULES_BY_ID)]
+
+
+def run_rules(output_format: str = "text", out=None) -> int:
+    """Shared body of ``repro analyze rules``: the machine-readable
+    rule catalogue ``tools/gen_api.py`` and the docs consume, so the
+    tables in ``docs/ANALYSIS.md``/``docs/API.md`` cannot drift from
+    the code.  JSON output is canonical (sorted keys, fixed
+    separators)."""
+    from ..obs.export import canonical_json
+
+    if out is None:  # bind at call time so stream capture works
+        out = sys.stdout
+    rules = all_rules()
+    if output_format == "json":
+        payload = [{"rule": r.rule_id, "title": r.title,
+                    "fixit": r.fixit,
+                    "family": "crash-consistency"
+                    if r.rule_id.startswith("CC") else "determinism"}
+                   for r in rules]
+        print(canonical_json(payload), file=out)
+    else:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.title}", file=out)
+    return 0
+
+
 def default_lint_paths() -> list[pathlib.Path]:
     """With no explicit targets, lint the installed repro package."""
     return [pathlib.Path(__file__).resolve().parent.parent]
@@ -148,8 +181,15 @@ def run_lint(paths: Sequence[str] | None = None,
              no_baseline: bool = False,
              output_format: str = "text",
              list_rules: bool = False,
+             prune_baseline: bool = False,
              out=None) -> int:
-    """Shared body of ``repro analyze lint`` and ``repro-lint``."""
+    """Shared body of ``repro analyze lint`` and ``repro-lint``.
+
+    ``prune_baseline`` rewrites the baseline file dropping entries
+    that matched nothing this run; exits 1 when anything was pruned
+    (the tree changed under the baseline — re-review), 0 on an
+    idempotent re-run.
+    """
     if out is None:  # bind at call time so stream capture works
         out = sys.stdout
     if list_rules:
@@ -166,12 +206,21 @@ def run_lint(paths: Sequence[str] | None = None,
                 f"baseline {baseline_path!r} not found")
     targets = list(paths) if paths else default_lint_paths()
     report = lint_paths(targets, baseline=baseline)
+    pruned = 0
+    if prune_baseline and baseline is not None \
+            and report.stale_baseline:
+        pruned = baseline.write_pruned()
+        report.stale_baseline = []
     if output_format == "json":
         print(json.dumps(report.to_dict(), sort_keys=True, indent=2),
               file=out)
     else:
         print(report.render(), file=out)
-    return 0 if report.clean else 1
+        if pruned:
+            print(f"pruned {pruned} stale baseline entr"
+                  f"{'y' if pruned == 1 else 'ies'} from "
+                  f"{baseline.source}", file=out)
+    return 0 if report.clean and not pruned else 1
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -191,11 +240,15 @@ def main(argv: Optional[list[str]] = None) -> int:
                         default="text", dest="output_format")
     parser.add_argument("--rules", action="store_true",
                         help="print the rule catalog and exit")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="rewrite the baseline dropping stale "
+                             "entries; exit 1 when anything was pruned")
     args = parser.parse_args(argv)
     return run_lint(paths=args.paths, baseline_path=args.baseline,
                     no_baseline=args.no_baseline,
                     output_format=args.output_format,
-                    list_rules=args.rules)
+                    list_rules=args.rules,
+                    prune_baseline=args.prune_baseline)
 
 
 if __name__ == "__main__":

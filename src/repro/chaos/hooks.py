@@ -42,8 +42,9 @@ from ..sim.rng import fnv1a_64
 if TYPE_CHECKING:
     from .spec import ChaosSpec
 
-__all__ = ["CRASH_POINTS", "WRITE_SITES", "ChaosInjector", "chaos_active",
-           "chaos_suspended", "get_chaos", "install_chaos"]
+__all__ = ["CRASH_POINTS", "CRASH_SITE_REGISTRY", "WRITE_SITES",
+           "ChaosInjector", "chaos_active", "chaos_suspended",
+           "get_chaos", "install_chaos"]
 
 #: The crash-point catalogue, in sorted order.  Hook call sites must
 #: name one of these — an unknown site is a ConfigurationError at
@@ -72,6 +73,48 @@ WRITE_SITES = frozenset({
     "queue.lease_bump",
     "telemetry.append",
 })
+
+#: Where each crash point lives, as ``canonical-path::scope`` pairs.
+#: ``repro analyze crash`` (rule CC004) enforces *exact* agreement
+#: with the ``get_chaos()`` call sites it finds, so deleting or moving
+#: a hook — or adding one without registering it here — fails the lint
+#: gate instead of silently shrinking the chaos surface.
+CRASH_SITE_REGISTRY: dict = {
+    "cache.put": (
+        "repro/perf/cache.py::RunCache.put",
+    ),
+    "engine.run": (
+        "repro/engine.py::ExecutionEngine.export_experiments",
+        "repro/engine.py::ExecutionEngine.run_specs",
+    ),
+    "journal.append": (
+        "repro/service/journal.py::Journal.append",
+    ),
+    "queue.claim": (
+        "repro/service/queue.py::JobQueue.claim_next",
+    ),
+    "queue.complete": (
+        "repro/service/queue.py::JobQueue.complete",
+    ),
+    "queue.lease_break": (
+        "repro/service/queue.py::JobQueue.break_lease",
+    ),
+    "queue.lease_bump": (
+        "repro/service/queue.py::JobQueue.heartbeat",
+    ),
+    "queue.submit": (
+        "repro/service/queue.py::JobQueue.submit",
+    ),
+    "telemetry.append": (
+        "repro/obs/spool.py::TelemetrySpool._append",
+    ),
+    "worker.publish.post_rename": (
+        "repro/service/worker.py::Worker._publish",
+    ),
+    "worker.publish.pre_rename": (
+        "repro/service/worker.py::Worker._publish",
+    ),
+}
 
 #: Exit status delivered by *kill* in ``exit`` mode — 128 + SIGKILL,
 #: what a shell reports for a process killed with ``kill -9``.

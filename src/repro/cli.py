@@ -554,7 +554,26 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             no_baseline=args.no_baseline,
             output_format="json" if args.json else "text",
             list_rules=args.list_rules,
+            prune_baseline=args.prune_baseline,
         )
+
+    if args.analyze_cmd == "crash":
+        from .analysis.crashsafe import run_crash
+
+        return run_crash(
+            args.paths or None,
+            baseline_path=args.baseline,
+            no_baseline=args.no_baseline,
+            output_format="json" if args.json else "text",
+            docs=args.docs,
+            prune_baseline=args.prune_baseline,
+        )
+
+    if args.analyze_cmd == "rules":
+        from .analysis.linter import run_rules
+
+        return run_rules(
+            output_format="json" if args.json else "text")
 
     # analyze race
     from .analysis.runrace import analyze_races
@@ -691,7 +710,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_metrics.add_argument("--cache-dir", metavar="DIR")
 
     p_ana = sub.add_parser(
-        "analyze", help="determinism lint and simulated-race detection")
+        "analyze", help="determinism lint, crash-consistency lint and "
+                        "simulated-race detection")
     ana_sub = p_ana.add_subparsers(dest="analyze_cmd", required=True)
     p_lint = ana_sub.add_parser(
         "lint", help="run the determinism sanitizer (DET001..DET010)")
@@ -707,6 +727,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="machine-readable report on stdout")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
+    p_lint.add_argument("--prune-baseline", action="store_true",
+                        help="rewrite the baseline dropping stale "
+                             "entries; exit 1 when anything was pruned")
+    p_crash = ana_sub.add_parser(
+        "crash", help="run the crash-consistency analyzer "
+                      "(CC001..CC009)")
+    p_crash.add_argument("paths", nargs="*",
+                         help="files/directories to scan (default: "
+                              "the installed repro package)")
+    p_crash.add_argument("--baseline", metavar="FILE",
+                         help="suppression baseline JSON (default: "
+                              "the checked-in "
+                              "analysis/crash_baseline.json)")
+    p_crash.add_argument("--no-baseline", action="store_true",
+                         help="report every finding, suppressing "
+                              "nothing")
+    p_crash.add_argument("--json", action="store_true",
+                         help="canonical-JSON report on stdout")
+    p_crash.add_argument("--docs", metavar="FILE",
+                         help="chaos catalogue docs to cross-check "
+                              "(default: docs/CHAOS.md discovered "
+                              "near the scan targets)")
+    p_crash.add_argument("--prune-baseline", action="store_true",
+                         help="rewrite the baseline dropping stale "
+                              "entries; exit 1 when anything was "
+                              "pruned")
+    p_rules = ana_sub.add_parser(
+        "rules", help="list every registered lint rule (DET + CC)")
+    p_rules.add_argument("--json", action="store_true",
+                         help="canonical-JSON catalogue on stdout")
     p_race = ana_sub.add_parser(
         "race", help="run one experiment under the race detector")
     p_race.add_argument("id", help="experiment id (see list)")

@@ -101,12 +101,18 @@ class RunCache:
     ``directory=None`` keeps the cache purely in memory (one process);
     a path enables the persistent tier.  Use :meth:`default` for the
     standard location honouring ``$REPRO_CACHE_DIR``.
+
+    ``durable=False`` skips the fsync before the atomic publish —
+    an escape hatch for throwaway test caches; the durable default is
+    what the crash-consistency gate (CC002) checks.
     """
 
-    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+    def __init__(self, directory: str | os.PathLike | None = None,
+                 durable: bool = True) -> None:
         self._memory: dict[str, "RunResult"] = {}
         #: Corrupt disk entries moved aside by this instance.
         self.quarantined = 0
+        self.durable = durable
         self.directory: Optional[pathlib.Path] = (
             pathlib.Path(directory) if directory is not None else None
         )
@@ -228,6 +234,12 @@ class RunCache:
                     os.write(fd, data)
                 else:
                     cz.write(fd, data, "cache.put")
+                # The rename is only atomic for bytes that reached the
+                # disk: without the fsync a power cut shortly *after*
+                # os.replace can leave the entry published but empty
+                # or torn (CC002).
+                if self.durable:
+                    os.fsync(fd)
             finally:
                 os.close(fd)
             os.replace(tmp, path)

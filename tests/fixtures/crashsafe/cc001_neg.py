@@ -1,0 +1,29 @@
+"""CC001 non-firing: all three sanctioned durability idioms."""
+import os
+import tempfile
+
+
+def append_record(path, data):
+    fd = os.open(path, os.O_APPEND | os.O_CREAT | os.O_WRONLY)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
+
+
+def create_claim(path, data):
+    fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
+
+
+def publish(directory, path, data):
+    fd, tmp = tempfile.mkstemp(dir=directory)
+    try:
+        os.write(fd, data)
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp, path)

@@ -1,0 +1,10 @@
+"""CC001 firing: plain O_WRONLY rewrite, no sanctioned idiom."""
+import os
+
+
+def rewrite_state(path, data):
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)

@@ -1,0 +1,20 @@
+"""CC002 non-firing: fsync dominates the rename on all paths, the
+``durable`` gate included (the rule assumes ``durable=True``)."""
+import os
+import tempfile
+
+
+class Spool:
+    def __init__(self, directory, durable=True):
+        self.directory = directory
+        self.durable = durable
+
+    def publish(self, path, data):
+        fd, tmp = tempfile.mkstemp(dir=self.directory)
+        try:
+            os.write(fd, data)
+            if self.durable:
+                os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)

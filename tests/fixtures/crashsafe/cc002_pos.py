@@ -1,0 +1,23 @@
+"""CC002 firing: tmp-publish whose fsync is skippable on one path."""
+import os
+import tempfile
+
+
+def publish_no_fsync(directory, path, data):
+    fd, tmp = tempfile.mkstemp(dir=directory)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
+    os.replace(tmp, path)
+
+
+def publish_conditional_fsync(directory, path, data, fast):
+    fd, tmp = tempfile.mkstemp(dir=directory)
+    try:
+        os.write(fd, data)
+        if not fast:
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+    os.replace(tmp, path)

@@ -1,0 +1,9 @@
+"""CC003 non-firing: literal hooks naming registered crash points."""
+from repro.chaos.hooks import get_chaos
+
+
+def claim(fd, data):
+    cz = get_chaos()
+    if cz is not None:
+        cz.on("queue.claim")
+        cz.write(fd, data, "journal.append")

@@ -1,0 +1,9 @@
+"""CC003 firing: a typo'd site name and a non-literal site."""
+from repro.chaos.hooks import get_chaos
+
+
+def claim(site_name):
+    cz = get_chaos()
+    if cz is not None:
+        cz.on("queue.clam")
+        cz.on(site_name)

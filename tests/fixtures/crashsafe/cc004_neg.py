@@ -1,0 +1,15 @@
+"""CC004 non-firing: every registered point has its call site at the
+registered scope, and nothing is unregistered."""
+from repro.chaos.hooks import get_chaos
+
+
+def claim():
+    cz = get_chaos()
+    if cz is not None:
+        cz.on("queue.claim")
+
+
+def submit():
+    cz = get_chaos()
+    if cz is not None:
+        cz.on("queue.submit")

@@ -1,0 +1,10 @@
+"""CC004 firing (with the test's two-point catalogue registering
+``queue.claim`` and ``queue.submit`` here): only the claim hook is
+live, so the registered submit point has no call site."""
+from repro.chaos.hooks import get_chaos
+
+
+def claim():
+    cz = get_chaos()
+    if cz is not None:
+        cz.on("queue.claim")

@@ -1,0 +1,9 @@
+"""CC005 non-firing: capabilities match WRITE_SITES."""
+from repro.chaos.hooks import get_chaos
+
+
+def aligned(fd, data):
+    cz = get_chaos()
+    if cz is not None:
+        cz.on("queue.claim")
+        cz.write(fd, data, "journal.append")

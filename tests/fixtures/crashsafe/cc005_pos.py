@@ -1,0 +1,11 @@
+"""CC005 firing: write-capability drift in both directions — a
+control-flow site wrapped as a torn-write site, and a registered write
+site hooked with a control-flow guard."""
+from repro.chaos.hooks import get_chaos
+
+
+def drift(fd, data):
+    cz = get_chaos()
+    if cz is not None:
+        cz.write(fd, data, "queue.claim")
+        cz.on("journal.append")

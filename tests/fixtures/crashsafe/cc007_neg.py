@@ -1,0 +1,27 @@
+"""CC007 non-firing: the three sanctioned shapes — a narrow handler, a
+broad handler that re-raises, and one that names CrashInjected."""
+from repro.chaos.hooks import get_chaos
+from repro.errors import CrashInjected, ReproError
+
+
+def narrow(queue, payload):
+    try:
+        queue.submit(payload)
+    except ReproError:
+        return None
+
+
+def reraising(queue, payload):
+    try:
+        queue.submit(payload)
+    except Exception:
+        raise
+
+
+def crash_aware(queue, payload):
+    cz = get_chaos()
+    try:
+        if cz is not None:
+            cz.on("queue.claim")
+    except CrashInjected:
+        raise

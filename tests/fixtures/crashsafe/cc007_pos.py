@@ -1,0 +1,20 @@
+"""CC007 firing: broad handlers around crash-point frames — a direct
+hook under ``except Exception`` and a durable queue call under a bare
+``except`` that swallows."""
+from repro.chaos.hooks import get_chaos
+
+
+def absorbing_direct(queue):
+    cz = get_chaos()
+    try:
+        if cz is not None:
+            cz.on("queue.claim")
+    except Exception:
+        pass
+
+
+def absorbing_indirect(queue, payload):
+    try:
+        queue.submit(payload)
+    except:  # noqa: E722
+        return None

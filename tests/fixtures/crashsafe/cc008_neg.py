@@ -1,0 +1,22 @@
+"""CC008 non-firing: releases guarded by ``finally`` on every path."""
+import json
+import os
+import threading
+
+
+def guarded_read(path):
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        data = os.read(fd, 1 << 20)
+        return json.loads(data)
+    finally:
+        os.close(fd)
+
+
+def guarded_thread(target, queue):
+    beat = threading.Thread(target=target)
+    beat.start()
+    try:
+        queue.heartbeat("job", "worker")
+    finally:
+        beat.join()

@@ -1,0 +1,20 @@
+"""CC008 firing: an fd that leaks on the exceptional path and a thread
+that is only joined on the happy path."""
+import json
+import os
+import threading
+
+
+def leaky_read(path):
+    fd = os.open(path, os.O_RDONLY)
+    data = os.read(fd, 1 << 20)
+    payload = json.loads(data)
+    os.close(fd)
+    return payload
+
+
+def leaky_thread(target, queue):
+    beat = threading.Thread(target=target)
+    beat.start()
+    queue.heartbeat("job", "worker")
+    beat.join()

@@ -1,0 +1,27 @@
+"""CC009 non-firing: every emitted record type has a handler in both
+folds."""
+
+
+def submit(journal, job_id):
+    journal.append({"type": "submit", "job": job_id})
+    journal.append({"type": "done", "job": job_id})
+
+
+def table(records):
+    jobs = {}
+    for record in records:
+        rtype = record.get("type")
+        if rtype == "submit":
+            jobs[record["job"]] = "QUEUED"
+        elif rtype == "done":
+            jobs[record["job"]] = "DONE"
+    return jobs
+
+
+def rollups(records):
+    counts = {"submit": 0, "done": 0}
+    for record in records:
+        rtype = record.get("type")
+        if rtype in counts:
+            counts[rtype] += 1
+    return counts

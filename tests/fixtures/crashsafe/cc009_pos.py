@@ -1,0 +1,26 @@
+"""CC009 firing: a ``ghost`` record type is emitted but neither fold
+handles it (and one emit uses a non-literal type)."""
+
+
+def submit(journal, job_id, rtype):
+    journal.append({"type": "submit", "job": job_id})
+    journal.append({"type": "ghost", "job": job_id})
+    journal.append({"type": rtype, "job": job_id})
+
+
+def table(records):
+    jobs = {}
+    for record in records:
+        rtype = record.get("type")
+        if rtype == "submit":
+            jobs[record["job"]] = "QUEUED"
+    return jobs
+
+
+def rollups(records):
+    counts = {"submit": 0}
+    for record in records:
+        rtype = record.get("type")
+        if rtype in counts:
+            counts[rtype] += 1
+    return counts

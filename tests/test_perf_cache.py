@@ -324,3 +324,52 @@ def test_cli_cache_gc(tmp_path, cell, capsys):
     out = capsys.readouterr().out
     assert "removed 1 of 1" in out
     assert "quarantine untouched" in out
+
+
+# -- durability (CC002 regression) --------------------------------------
+
+
+def _captured_result(cell):
+    mem = RunCache()
+    execute_cells([cell], jobs=1, cache=mem)
+    return next(iter(mem._memory.items()))
+
+
+def test_put_fsyncs_before_atomic_publish(tmp_path, cell, monkeypatch):
+    # Regression for the CC002 finding the crash analyzer surfaced:
+    # the rename is only atomic for bytes that reached the disk, so
+    # the fsync must precede os.replace on the durable path.
+    import os
+
+    key, result = _captured_result(cell)
+    cache = RunCache(tmp_path)
+    events = []
+    real_fsync, real_replace = os.fsync, os.replace
+    monkeypatch.setattr(
+        os, "fsync",
+        lambda fd: (events.append("fsync"), real_fsync(fd))[1])
+    monkeypatch.setattr(
+        os, "replace",
+        lambda a, b: (events.append("replace"), real_replace(a, b))[1])
+    cache.put(key, result)
+    assert "fsync" in events and "replace" in events
+    assert events.index("fsync") < events.index("replace")
+    fresh = RunCache(tmp_path)
+    assert fresh.get(key) == result
+
+
+def test_put_durable_false_skips_fsync(tmp_path, cell, monkeypatch):
+    import os
+
+    key, result = _captured_result(cell)
+    cache = RunCache(tmp_path, durable=False)
+    events = []
+    real_replace = os.replace
+    monkeypatch.setattr(os, "fsync",
+                        lambda fd: events.append("fsync"))
+    monkeypatch.setattr(
+        os, "replace",
+        lambda a, b: (events.append("replace"), real_replace(a, b))[1])
+    cache.put(key, result)
+    assert events == ["replace"]
+    assert RunCache(tmp_path).get(key) == result

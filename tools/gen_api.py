@@ -193,6 +193,29 @@ def first_line(obj) -> str:
     return doc.splitlines()[0] if doc else "(undocumented)"
 
 
+def rules_section() -> "list[str]":
+    """The static-analysis rule table, generated from the same
+    registry ``repro analyze rules`` prints so it cannot drift."""
+    from repro.analysis.linter import all_rules
+
+    lines = [
+        "## Static-analysis rules",
+        "",
+        "Every registered lint rule (`repro analyze rules --json` is "
+        "the same catalogue as JSON); DET rules run under "
+        "`repro analyze lint`, CC rules under `repro analyze crash`.",
+        "",
+        "| rule | family | title |",
+        "|---|---|---|",
+    ]
+    for rule in all_rules():
+        family = ("crash-consistency" if rule.rule_id.startswith("CC")
+                  else "determinism")
+        lines.append(f"| `{rule.rule_id}` | {family} | {rule.title} |")
+    lines.append("")
+    return lines
+
+
 def main() -> None:
     lines = [
         "# API reference",
@@ -231,6 +254,7 @@ def main() -> None:
         lines.append("|---|---|---|")
         lines.extend(rows)
         lines.append("")
+    lines.extend(rules_section())
     lines.append(PERFORMANCE_SECTION)
     out = pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md"
     out.parent.mkdir(exist_ok=True)
